@@ -1,0 +1,50 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+All benches share one :class:`ExperimentRunner` so the expensive
+benchmark x scheme sweep is simulated once per session, no matter how
+many figures read it.  Every bench writes its regenerated table to
+``benchmarks/results/<name>.txt`` (and prints it), so the artifacts
+survive pytest's output capture.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — trace-size multiplier for the main sweep
+  (default 1.0, the scale EXPERIMENTS.md quotes).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+MAIN_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SENSITIVITY_SCALE = 0.5 * MAIN_SCALE
+# Fig. 18/19 sweep a representative slice of the valley suite to keep
+# the sensitivity matrices tractable.
+SENSITIVITY_BENCHMARKS = ("MT", "LU", "SC", "SRAD2", "SP")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=MAIN_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sensitivity_runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=SENSITIVITY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

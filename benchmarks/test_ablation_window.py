@@ -1,0 +1,51 @@
+"""Ablation: entropy-window size (paper Section III-A).
+
+The paper sets w = #SMs heuristically and notes other schedulers may
+need other windows.  This ablation sweeps w and shows (a) entropy is
+monotone-ish in w for inter-TB-dominated benchmarks, and (b) the valley
+classification of the suite is stable across a wide band of w.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.core import has_parallel_bit_valley
+from repro.workloads.suite import ALL_BENCHMARKS
+
+WINDOWS = (2, 6, 12, 24, 48)
+
+
+def _render(runner) -> str:
+    rows = []
+    for bench in ("MT", "LU", "SP", "BFS"):
+        row = [bench]
+        for w in WINDOWS:
+            profile = runner.entropy_profile(bench, window=w)
+            row.append(profile.parallel_bit_entropy())
+        rows.append(row)
+    stable = []
+    for bench in ALL_BENCHMARKS:
+        expected = runner.workload(bench).expected_valley
+        flags = [
+            has_parallel_bit_valley(runner.entropy_profile(bench, window=w))
+            for w in (6, 12, 24)
+        ]
+        stable.append([bench, "yes" if all(f == expected for f in flags) else "NO"])
+    return "\n".join([
+        banner("Ablation — window size w vs channel/bank-bit entropy"),
+        format_table(["bench"] + [f"w={w}" for w in WINDOWS], rows, "{:.3f}"),
+        "",
+        banner("Valley classification stability for w in {6, 12, 24}"),
+        format_table(["bench", "stable"], stable),
+    ])
+
+
+def test_ablation_window(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "ablation_window", text)
+    # Classification must be stable around the paper's w = 12 heuristic.
+    for bench in ALL_BENCHMARKS:
+        expected = runner.workload(bench).expected_valley
+        for w in (6, 12, 24):
+            got = has_parallel_bit_valley(runner.entropy_profile(bench, window=w))
+            assert got == expected, (bench, w)

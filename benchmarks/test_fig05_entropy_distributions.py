@@ -1,0 +1,52 @@
+"""Fig. 5: entropy distributions of 16 benchmarks + 2 kernel views."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.core import find_entropy_valleys, has_parallel_bit_valley
+from repro.core.entropy import application_entropy_profile
+from repro.workloads.suite import ALL_BENCHMARKS, dwt2d_kernel1, srad2_kernel1
+
+
+def _render(runner) -> str:
+    rows = []
+    entries = [(abbr, None) for abbr in ALL_BENCHMARKS]
+    for abbr, _ in entries:
+        profile = runner.entropy_profile(abbr)
+        rows.append(_row(abbr, profile, runner.workload(abbr).expected_valley))
+    # The two kernel views of Fig. 5h / 5j.
+    amap = runner.address_map()
+    for label, wl in (("SRAD2K1", srad2_kernel1()), ("DWT2DK1", dwt2d_kernel1())):
+        profile = application_entropy_profile(
+            wl.entropy_kernel_inputs(), amap, runner.window, label=label
+        )
+        rows.append(_row(label, profile, True))
+    return "\n".join([
+        banner("Fig. 5 — window-based entropy distributions (w = 12 = #SMs)"),
+        format_table(
+            ["bench", "ch/bank-bit entropy", "valleys (bit ranges)",
+             "valley@ch/bank", "paper group"],
+            rows,
+        ),
+    ])
+
+
+def _row(label, profile, expected):
+    valleys = find_entropy_valleys(profile)
+    return [
+        label,
+        profile.parallel_bit_entropy(),
+        "; ".join(f"{lo}-{hi}" for lo, hi in valleys) or "none",
+        "yes" if has_parallel_bit_valley(profile) else "no",
+        "valley" if expected else "no-valley",
+    ]
+
+
+def test_fig05_entropy_distributions(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig05_entropy_distributions", text)
+    # The measured classification must match the paper's Table II grouping.
+    for line in text.splitlines():
+        cells = line.split()
+        if cells and cells[-1] in ("valley", "no-valley"):
+            assert (cells[-2] == "yes") == (cells[-1] == "valley"), line

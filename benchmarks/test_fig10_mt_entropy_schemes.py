@@ -1,0 +1,45 @@
+"""Fig. 10: MT's entropy distribution under all six mapping schemes.
+
+PAE and FAE must remove the valley in the channel/bank bits; ALL
+removes all valleys.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.core import find_entropy_valleys
+from repro.core.schemes import SCHEME_NAMES
+
+
+def _render(runner) -> str:
+    rows = []
+    for scheme in SCHEME_NAMES:
+        if scheme == "BASE":
+            profile = runner.entropy_profile("MT")
+        else:
+            profile = runner.mapped_entropy_profile("MT", scheme, seed=0)
+        valleys = find_entropy_valleys(profile)
+        parallel = set(runner.address_map().parallel_bits())
+        overlapping = [
+            f"{lo}-{hi}" for lo, hi in valleys
+            if parallel.intersection(range(lo, hi + 1))
+        ]
+        rows.append([
+            scheme,
+            profile.parallel_bit_entropy(),
+            "; ".join(overlapping) or "removed",
+        ])
+    return "\n".join([
+        banner("Fig. 10 — MT entropy under the six mapping schemes"),
+        format_table(["scheme", "ch/bank-bit entropy", "valley @ ch/bank bits"], rows),
+    ])
+
+
+def test_fig10_mt_entropy_schemes(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig10_mt_entropy_schemes", text)
+    lines = {l.split()[0]: l for l in text.splitlines() if l.strip()}
+    assert "removed" in lines["PAE"]
+    assert "removed" in lines["FAE"]
+    assert "removed" in lines["ALL"]
+    assert "removed" not in lines["BASE"]

@@ -1,0 +1,41 @@
+"""Fig. 11: normalized execution time vs normalized DRAM power.
+
+The paper's scatter: PAE near BASE's power at much higher speed;
+FAE/ALL slightly faster yet far more power-hungry.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    rows = []
+    for scheme in SCHEME_NAMES:
+        hmean = runner.mean_speedup(scheme, VALLEY_BENCHMARKS)
+        power = runner.dram_power_ratio(scheme, VALLEY_BENCHMARKS)
+        rows.append([scheme, 1.0 / hmean, power, hmean])
+    return "\n".join([
+        banner("Fig. 11 — execution time vs DRAM power (valley suite means)"),
+        format_table(
+            ["scheme", "norm. exec time", "norm. DRAM power", "speedup"], rows
+        ),
+        "",
+        "paper: PAE 1.52x @ +3% DRAM power; FAE 1.56x @ +35%; ALL 1.54x @ +45%;"
+        " PM 1.16x @ +8%; RMP 1.21x @ +16%.",
+    ])
+
+
+def test_fig11_perf_vs_power(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig11_perf_vs_power", text)
+    values = {
+        line.split()[0]: [float(x) for x in line.split()[1:4]]
+        for line in text.splitlines()
+        if line.split() and line.split()[0] in SCHEME_NAMES
+    }
+    # Shape: broad schemes much faster than PM; PAE cheapest broad scheme.
+    assert values["PAE"][2] > values["PM"][2] * 1.2
+    assert values["PAE"][1] < values["FAE"][1] < values["ALL"][1] * 1.1

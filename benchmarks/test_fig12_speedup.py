@@ -1,0 +1,31 @@
+"""Fig. 12: per-benchmark speedup over BASE for the valley suite."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_grouped_bars, format_series
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    ups = runner.speedups(VALLEY_BENCHMARKS, SCHEME_NAMES)
+    hmeans = [(s, runner.mean_speedup(s, VALLEY_BENCHMARKS)) for s in SCHEME_NAMES]
+    return "\n".join([
+        banner("Fig. 12 — per-benchmark speedup over BASE (valley suite)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, ups, "speedup", "{:.2f}"),
+        "",
+        format_series("HMEAN", hmeans, "{:.3f}"),
+        "paper HMEANs: PM 1.16, RMP 1.21, PAE 1.52, FAE 1.56, ALL 1.54",
+    ])
+
+
+def test_fig12_speedup(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig12_speedup", text)
+    ups = runner.speedups(VALLEY_BENCHMARKS, SCHEME_NAMES)
+    # Shape assertions: broad schemes dominate narrow ones on average,
+    # and the dramatic benchmarks are dramatic.
+    assert runner.mean_speedup("PAE") > runner.mean_speedup("PM")
+    assert runner.mean_speedup("FAE") >= runner.mean_speedup("PAE") * 0.95
+    assert ups[("MT", "PAE")] > 3.0
+    assert ups[("LU", "PAE")] > 2.0

@@ -1,0 +1,37 @@
+"""Fig. 13: NoC packet latency (a) and LLC miss rate (b)."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_grouped_bars
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    noc = {}
+    llc = {}
+    for b in VALLEY_BENCHMARKS:
+        for s in SCHEME_NAMES:
+            res = runner.run(b, s)
+            noc[(b, s)] = res.noc_mean_latency
+            llc[(b, s)] = res.llc_miss_rate * 100
+    return "\n".join([
+        banner("Fig. 13a — average NoC packet latency (cycles)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, noc, "latency", "{:.1f}"),
+        "",
+        banner("Fig. 13b — LLC miss rate (%)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, llc, "miss%", "{:.1f}"),
+    ])
+
+
+def test_fig13_noc_llc(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig13_noc_llc", text)
+    # PAE must slash NoC latency where the NoC ports are the backlog
+    # point (MT's write-data packets pile onto one slice port under
+    # BASE). Benchmarks that queue in DRAM instead stay roughly flat.
+    assert runner.run("MT", "PAE").noc_mean_latency < runner.run("MT", "BASE").noc_mean_latency
+    for bench in ("SC", "LU"):
+        base = runner.run(bench, "BASE").noc_mean_latency
+        pae = runner.run(bench, "PAE").noc_mean_latency
+        assert pae < 3 * base + 30, bench

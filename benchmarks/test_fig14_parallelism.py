@@ -1,0 +1,39 @@
+"""Fig. 14: LLC-, channel- and bank-level parallelism."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_grouped_bars
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    llc, chan, bank = {}, {}, {}
+    for b in VALLEY_BENCHMARKS:
+        for s in SCHEME_NAMES:
+            res = runner.run(b, s)
+            llc[(b, s)] = res.llc_parallelism
+            chan[(b, s)] = res.channel_parallelism
+            bank[(b, s)] = res.bank_parallelism
+    return "\n".join([
+        banner("Fig. 14a — LLC-level parallelism (busy slices of 8)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, llc, "llc", "{:.2f}"),
+        "",
+        banner("Fig. 14b — channel-level parallelism (busy channels of 4)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, chan, "chan", "{:.2f}"),
+        "",
+        banner("Fig. 14c — bank-level parallelism (busy banks per channel, of 16)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, bank, "bank", "{:.2f}"),
+    ])
+
+
+def test_fig14_parallelism(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig14_parallelism", text)
+    # Broad schemes raise parallelism at every level on MT.
+    base = runner.run("MT", "BASE")
+    for scheme in ("PAE", "FAE", "ALL"):
+        res = runner.run("MT", scheme)
+        assert res.channel_parallelism > base.channel_parallelism
+        assert res.llc_parallelism > base.llc_parallelism
+        assert res.bank_parallelism > base.bank_parallelism

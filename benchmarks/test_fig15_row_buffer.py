@@ -1,0 +1,33 @@
+"""Fig. 15: DRAM row buffer hit rate per scheme."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_grouped_bars
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    hits = {
+        (b, s): runner.run(b, s).row_hit_rate * 100
+        for b in VALLEY_BENCHMARKS
+        for s in SCHEME_NAMES
+    }
+    return "\n".join([
+        banner("Fig. 15 — DRAM row buffer hit rate (%)"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, hits, "hit%", "{:.1f}"),
+        "",
+        "paper: PAE achieves the highest hit rates; FAE and ALL degrade "
+        "row buffer locality.",
+    ])
+
+
+def test_fig15_row_buffer(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig15_row_buffer", text)
+    import numpy as np
+
+    pae = np.mean([runner.run(b, "PAE").row_hit_rate for b in VALLEY_BENCHMARKS])
+    fae = np.mean([runner.run(b, "FAE").row_hit_rate for b in VALLEY_BENCHMARKS])
+    alls = np.mean([runner.run(b, "ALL").row_hit_rate for b in VALLEY_BENCHMARKS])
+    assert pae > fae > alls

@@ -1,0 +1,35 @@
+"""Fig. 17: normalized performance per Watt (GPU + DRAM system power)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import harmonic_mean
+from repro.analysis.report import banner, format_grouped_bars, format_series
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    ppw = runner.perf_per_watt(VALLEY_BENCHMARKS, SCHEME_NAMES)
+    hmeans = [
+        (s, harmonic_mean([ppw[(b, s)] for b in VALLEY_BENCHMARKS]))
+        for s in SCHEME_NAMES
+    ]
+    return "\n".join([
+        banner("Fig. 17 — performance per Watt, normalized to BASE"),
+        format_grouped_bars(VALLEY_BENCHMARKS, SCHEME_NAMES, ppw, "perf/W", "{:.2f}"),
+        "",
+        format_series("HMEAN", hmeans, "{:.3f}"),
+        "paper HMEANs: PAE 1.39, FAE 1.36, ALL 1.31 — PAE is the most "
+        "power-efficient scheme.",
+    ])
+
+
+def test_fig17_perf_per_watt(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig17_perf_per_watt", text)
+    ppw = runner.perf_per_watt(VALLEY_BENCHMARKS, SCHEME_NAMES)
+    h = lambda s: harmonic_mean([ppw[(b, s)] for b in VALLEY_BENCHMARKS])
+    # Headline claim: PAE is the most power-efficient mapping scheme.
+    assert h("PAE") >= h("FAE") >= h("ALL") * 0.99
+    assert h("PAE") > h("PM")
+    assert h("PAE") > 1.15

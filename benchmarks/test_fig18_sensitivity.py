@@ -1,0 +1,56 @@
+"""Fig. 18: sensitivity to SM count and 3D-stacked memory.
+
+12/24/48 SMs with conventional GDDR5, plus 64 SMs with 3D-stacked
+memory.  The broad schemes must keep their advantage everywhere, and
+RMP must fall back towards BASE on the stacked configuration.
+"""
+
+from conftest import SENSITIVITY_BENCHMARKS, emit
+
+from repro.analysis.experiments import harmonic_mean
+from repro.analysis.report import banner, format_table
+from repro.core.schemes import SCHEME_NAMES
+
+CONFIGS = [
+    ("12 SMs conv. DRAM", dict(n_sms=12, memory="gddr5")),
+    ("24 SMs conv. DRAM", dict(n_sms=24, memory="gddr5")),
+    ("48 SMs conv. DRAM", dict(n_sms=48, memory="gddr5")),
+    ("64 SMs 3D DRAM", dict(n_sms=64, memory="stacked")),
+]
+
+
+def _mean_speedup(runner, scheme, **kwargs):
+    return harmonic_mean([
+        runner.run(b, "BASE", **kwargs).cycles / runner.run(b, scheme, **kwargs).cycles
+        for b in SENSITIVITY_BENCHMARKS
+    ])
+
+
+def _render(runner) -> str:
+    rows = []
+    for label, kwargs in CONFIGS:
+        row = [label]
+        for scheme in SCHEME_NAMES:
+            row.append(_mean_speedup(runner, scheme, **kwargs))
+        rows.append(row)
+    return "\n".join([
+        banner("Fig. 18 — speedup sensitivity to SM count and memory type"),
+        format_table(["configuration"] + list(SCHEME_NAMES), rows, "{:.2f}"),
+        "",
+        f"(harmonic mean over {', '.join(SENSITIVITY_BENCHMARKS)} at reduced "
+        "trace scale)",
+    ])
+
+
+def test_fig18_sensitivity(benchmark, sensitivity_runner, results_dir):
+    text = benchmark.pedantic(
+        _render, args=(sensitivity_runner,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig18_sensitivity", text)
+    # PAE keeps a consistent advantage across all four configurations.
+    for label, kwargs in CONFIGS:
+        assert _mean_speedup(sensitivity_runner, "PAE", **kwargs) > 1.2, label
+    # RMP approaches BASE on the stacked configuration (paper's note).
+    stacked_rmp = _mean_speedup(sensitivity_runner, "RMP", n_sms=64, memory="stacked")
+    stacked_pae = _mean_speedup(sensitivity_runner, "PAE", n_sms=64, memory="stacked")
+    assert stacked_rmp < stacked_pae

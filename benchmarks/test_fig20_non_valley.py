@@ -1,0 +1,33 @@
+"""Fig. 20: the non-valley benchmarks are essentially unaffected."""
+
+from conftest import emit
+
+from repro.analysis.experiments import harmonic_mean
+from repro.analysis.report import banner, format_grouped_bars, format_series
+from repro.core.schemes import SCHEME_NAMES
+from repro.workloads.suite import NON_VALLEY_BENCHMARKS
+
+
+def _render(runner) -> str:
+    ups = runner.speedups(NON_VALLEY_BENCHMARKS, SCHEME_NAMES)
+    hmeans = [
+        (s, harmonic_mean([ups[(b, s)] for b in NON_VALLEY_BENCHMARKS]))
+        for s in SCHEME_NAMES
+    ]
+    return "\n".join([
+        banner("Fig. 20 — speedup on non-entropy-valley benchmarks"),
+        format_grouped_bars(NON_VALLEY_BENCHMARKS, SCHEME_NAMES, ups, "speedup", "{:.2f}"),
+        "",
+        format_series("HMEAN", hmeans, "{:.3f}"),
+        "paper: address mapping has a relatively minor impact on these "
+        "benchmarks.",
+    ])
+
+
+def test_fig20_non_valley(benchmark, runner, results_dir):
+    text = benchmark.pedantic(_render, args=(runner,), rounds=1, iterations=1)
+    emit(results_dir, "fig20_non_valley", text)
+    ups = runner.speedups(NON_VALLEY_BENCHMARKS, SCHEME_NAMES)
+    for scheme in ("PAE", "FAE", "ALL"):
+        hmean = harmonic_mean([ups[(b, scheme)] for b in NON_VALLEY_BENCHMARKS])
+        assert 0.85 < hmean < 1.5, scheme

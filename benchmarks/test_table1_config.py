@@ -1,0 +1,47 @@
+"""Table I + Fig. 4: the simulated architecture and the Hynix address map."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.core.address_map import hynix_gddr5_map
+from repro.dram.timing import gddr5_timing, stacked_timing
+from repro.gpu.config import baseline_config
+
+
+def _render() -> str:
+    cfg = baseline_config()
+    dram = gddr5_timing()
+    stacked = stacked_timing()
+    amap = hynix_gddr5_map()
+    rows = [
+        ["No. SMs", cfg.n_sms],
+        ["Max warps/SM x threads/warp", f"{cfg.max_warps_per_sm} x {cfg.threads_per_warp}"],
+        ["L1 data cache", f"{cfg.l1_bytes // 1024} KB, {cfg.l1_ways}-way, {cfg.l1_sets} sets"],
+        ["LLC", f"{cfg.llc_total_bytes // 1024} KB in {cfg.llc_slices} slices, {cfg.llc_ways}-way"],
+        ["NoC", f"{cfg.n_sms}x{cfg.llc_slices} crossbar, {cfg.noc_flit_bytes} B channels"],
+        ["DRAM", dram.name],
+        ["DRAM geometry", f"{dram.channels} ch x {dram.banks_per_channel} banks x "
+                          f"{dram.rows_per_bank} rows x {dram.columns_per_row} cols"],
+        ["DRAM timing (CL-tRCD-tRP)", f"{dram.cl}-{dram.t_rcd}-{dram.t_rp}"],
+        ["DRAM peak bandwidth", f"{dram.peak_bandwidth_gbs:.1f} GB/s"],
+        ["3D-stacked", f"{stacked.channels} vault channels, "
+                        f"{stacked.peak_bandwidth_gbs:.0f} GB/s"],
+    ]
+    field_rows = [
+        [name, f"bits {min(amap.field(name).bits)}..{max(amap.field(name).bits)}",
+         amap.field(name).size]
+        for name in ("row", "bank", "channel", "col", "block")
+    ]
+    return "\n".join([
+        banner("Table I — simulated GPU architecture"),
+        format_table(["parameter", "value"], rows),
+        "",
+        banner("Fig. 4 — Hynix GDDR5 30-bit address map"),
+        format_table(["field", "position", "values"], field_rows),
+    ])
+
+
+def test_table1_architecture(benchmark, results_dir):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    emit(results_dir, "table1_config", text)
+    assert "118.3 GB/s" in text

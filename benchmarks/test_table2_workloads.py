@@ -1,0 +1,32 @@
+"""Table II: benchmark characteristics (paper values vs this trace suite)."""
+
+from conftest import emit
+
+from repro.analysis.report import banner, format_table
+from repro.workloads.suite import ALL_BENCHMARKS, TABLE2, build_workload
+
+
+def _render() -> str:
+    rows = []
+    for abbr in ALL_BENCHMARKS:
+        wl = build_workload(abbr, scale=1.0)
+        apki, mpki, kernels, insns = TABLE2[abbr]
+        rows.append([
+            abbr, wl.name, apki, mpki, kernels, wl.n_kernels,
+            wl.n_tbs, wl.n_requests,
+            "yes" if wl.expected_valley else "no",
+        ])
+    return "\n".join([
+        banner("Table II — GPU-compute benchmarks"),
+        format_table(
+            ["abbr", "benchmark", "APKI", "MPKI", "knls(paper)",
+             "knls(trace)", "TBs", "requests", "valley"],
+            rows, floatfmt="{:.2f}",
+        ),
+    ])
+
+
+def test_table2_workloads(benchmark, results_dir):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    emit(results_dir, "table2_workloads", text)
+    assert "MUMmerGPU" in text

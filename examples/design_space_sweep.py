@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Sweep the mapping design space on a benchmark of your choice.
+
+Runs one benchmark under all six schemes (plus a custom Broad scheme
+you can edit), and prints the paper's headline metrics side by side:
+speedup, row-buffer hit rate, activate count, DRAM power and perf/W.
+
+Run:  python examples/design_space_sweep.py [BENCH]     (default: SRAD2)
+"""
+
+import sys
+
+from repro import build_scheme, build_workload, hynix_gddr5_map, simulate
+from repro.analysis.report import format_table
+from repro.core import SCHEME_NAMES
+from repro.core.schemes import broad_scheme
+from repro.sim.results import perf_per_watt_ratio, speedup
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "SRAD2"
+    amap = hynix_gddr5_map()
+    workload = build_workload(bench, scale=0.5)
+    print(f"benchmark {bench}: {workload.n_requests} coalesced requests, "
+          f"{workload.n_tbs} TBs, {workload.n_kernels} kernels\n")
+
+    schemes = [build_scheme(name, amap, seed=0) for name in SCHEME_NAMES]
+    # A custom Broad variant: harvest only the row bits (edit me!).
+    schemes.append(broad_scheme(
+        "ROWS", amap,
+        input_bits=tuple(amap.field("row").bits) + amap.parallel_bits(),
+        output_bits=amap.parallel_bits(),
+        seed=1,
+    ))
+
+    results = {}
+    for scheme in schemes:
+        print(f"simulating {scheme.name} ...")
+        results[scheme.name] = simulate(workload, scheme)
+    base = results["BASE"]
+
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            speedup(result, base),
+            result.row_hit_rate * 100,
+            result.dram_activates,
+            result.dram_power.total,
+            result.system_power,
+            perf_per_watt_ratio(result, base),
+        ])
+    print()
+    print(format_table(
+        ["scheme", "speedup", "row-hit %", "activates", "DRAM W",
+         "system W", "perf/W vs BASE"],
+        rows, floatfmt="{:.2f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2, end to end.
+
+An 8x8 grid of data elements is covered by thread blocks formed either
+row-major (TB-RM2) or column-major (TB-CM0).  Their memory requests
+hit a toy DRAM with 2 channels x 2 banks.  The column-major TB lands
+every request on one channel/bank unit — until a Broad BIM harvests
+the row-bit entropy into the channel and bank bits.
+
+Run:  python examples/motivating_example.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core import base_scheme, broad_scheme, pm_scheme, toy_map
+
+
+def distribution(scheme, addresses):
+    """Histogram of requests over channel x bank units."""
+    counts = Counter()
+    for addr in addresses:
+        fields = scheme.decode(int(addr))
+        counts[f"ch{fields['channel']}/bank{fields['bank']}"] += 1
+    return dict(sorted(counts.items()))
+
+
+def main() -> None:
+    amap = toy_map()  # row[5:3] | channel[2] | bank[1] | block[0]
+    print(f"toy address map: {amap}\n")
+
+    # Thread IDs become addresses: element index in bits 5..0.
+    # Row-major TB #2 covers elements 16..23.
+    tb_rm2 = np.arange(16, 24, dtype=np.uint64)
+    # Column-major TB #0 covers elements 0, 8, 16, ..., 56.
+    tb_cm0 = np.arange(0, 64, 8, dtype=np.uint64)
+
+    identity = base_scheme(amap)
+    pm = pm_scheme(amap)
+    bim = broad_scheme(
+        "Broad-BIM", amap,
+        input_bits=amap.page_bits(), output_bits=amap.parallel_bits(), seed=6,
+    )
+
+    for label, addrs in (("TB-RM2 (row-major)", tb_rm2),
+                         ("TB-CM0 (column-major)", tb_cm0)):
+        print(label)
+        for scheme_label, scheme in (("identity", identity),
+                                     ("PM      ", pm),
+                                     ("Broad   ", bim)):
+            hist = distribution(scheme, addrs)
+            balance = f"{len(hist)} unit(s)"
+            print(f"  {scheme_label}: {balance:<10} {hist}")
+        print()
+
+    print("The row-major TB is naturally balanced.  The column-major TB")
+    print("concentrates on one unit under the identity map; PM only has")
+    print("narrow XOR sources, while the Broad BIM restores full balance —")
+    print("exactly the paper's Figure 2.")
+
+
+if __name__ == "__main__":
+    main()

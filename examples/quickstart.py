@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: map addresses, measure entropy, and race PAE against BASE.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    build_scheme,
+    build_workload,
+    has_parallel_bit_valley,
+    hynix_gddr5_map,
+    simulate,
+    speedup,
+)
+from repro.core.entropy import application_entropy_profile
+
+
+def main() -> None:
+    amap = hynix_gddr5_map()
+    print(f"Address map: {amap}")
+
+    # 1. Build a mapping scheme and look at what it does to one address.
+    pae = build_scheme("PAE", amap, seed=0)
+    addr = amap.encode(row=1234, bank=5, channel=0, col=17)
+    print(f"\ninput  address 0x{addr:08x} -> {amap.decode(addr)}")
+    print(f"mapped address 0x{int(pae.map(addr)):08x} -> {pae.decode(addr)}")
+    print(f"hardware cost: {pae.bim.xor_gate_count()} XOR gates, "
+          f"depth {pae.bim.xor_tree_depth()}")
+
+    # 2. Entropy-profile the paper's most dramatic benchmark.
+    mt = build_workload("MT", scale=0.5)
+    profile = application_entropy_profile(
+        mt.entropy_kernel_inputs(), amap, window=12, label="MT"
+    )
+    print(f"\nMT window-based entropy at channel/bank bits: "
+          f"{profile.parallel_bit_entropy():.3f}")
+    print(f"MT has an entropy valley over the channel/bank bits: "
+          f"{has_parallel_bit_valley(profile)}")
+
+    # 3. Simulate MT under BASE and PAE and compare.
+    print("\nsimulating MT under BASE ...")
+    base_result = simulate(mt, build_scheme("BASE", amap))
+    print("simulating MT under PAE ...")
+    pae_result = simulate(mt, pae)
+    print(f"\nBASE: {base_result.cycles} cycles, "
+          f"channel MLP {base_result.channel_parallelism:.2f}, "
+          f"row-hit {base_result.row_hit_rate:.2f}, "
+          f"DRAM {base_result.dram_power.total:.1f} W")
+    print(f"PAE : {pae_result.cycles} cycles, "
+          f"channel MLP {pae_result.channel_parallelism:.2f}, "
+          f"row-hit {pae_result.row_hit_rate:.2f}, "
+          f"DRAM {pae_result.dram_power.total:.1f} W")
+    print(f"\nPAE speedup over BASE: {speedup(pae_result, base_result):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

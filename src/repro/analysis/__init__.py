@@ -1,0 +1,26 @@
+"""Experiment harness, power comparisons and report formatting."""
+
+from .experiments import (
+    DEFAULT_SCALE,
+    SENSITIVITY_SCALE,
+    ExperimentRunner,
+    arithmetic_mean,
+    harmonic_mean,
+)
+from .power import PowerComparison, compare_to_base, normalized_views
+from .report import banner, format_grouped_bars, format_series, format_table
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentRunner",
+    "PowerComparison",
+    "SENSITIVITY_SCALE",
+    "arithmetic_mean",
+    "banner",
+    "compare_to_base",
+    "format_grouped_bars",
+    "format_series",
+    "format_table",
+    "harmonic_mean",
+    "normalized_views",
+]

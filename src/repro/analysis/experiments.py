@@ -1,0 +1,266 @@
+"""Experiment harness: run matrices of (workload x scheme x config).
+
+Every figure of the paper's evaluation (11-20) is a view over the same
+underlying sweep: the 16 benchmarks under the six mapping schemes on
+the baseline configuration, plus sensitivity variants (SM count,
+3D-stacked memory, alternative BIM seeds).  This module provides:
+
+* :class:`ExperimentRunner` — builds schemes/configs, runs simulations
+  and memoizes results so independent bench files can share one sweep,
+* the canonical sweep helpers each bench/table is generated from.
+
+All runs are deterministic: workloads and BIM draws are seeded, and
+the simulator itself has no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.address_map import AddressMap, hynix_gddr5_map
+from ..core.entropy import EntropyProfile, application_entropy_profile
+from ..core.schemes import SCHEME_NAMES, MappingScheme, build_scheme
+from ..dram.stacked import stacked_memory_config
+from ..dram.timing import DRAMTiming, gddr5_timing
+from ..gpu.config import GPUConfig, baseline_config, config_with_sms
+from ..sim.gpu_system import GPUSystem
+from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
+from ..workloads.base import Workload
+from ..workloads.suite import (
+    ALL_BENCHMARKS,
+    NON_VALLEY_BENCHMARKS,
+    VALLEY_BENCHMARKS,
+    build_workload,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "DEFAULT_SCALE",
+    "SENSITIVITY_SCALE",
+    "harmonic_mean",
+    "arithmetic_mean",
+]
+
+DEFAULT_SCALE = 1.0
+SENSITIVITY_SCALE = 0.5
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (the paper's speedup aggregation)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic mean of no values")
+    if (arr <= 0).any():
+        raise ValueError("harmonic mean requires positive values")
+    return float(arr.size / (1.0 / arr).sum())
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean of no values")
+    return float(arr.mean())
+
+
+@dataclass(frozen=True)
+class _RunKey:
+    benchmark: str
+    scheme: str
+    seed: int
+    n_sms: int
+    memory: str  # "gddr5" | "stacked"
+    scale: float
+
+
+class ExperimentRunner:
+    """Builds and memoizes simulation runs for the bench harness.
+
+    One instance is typically shared per process (the benchmarks use a
+    module-level singleton) so that e.g. Fig. 12 and Fig. 15 reuse the
+    same simulations.
+    """
+
+    def __init__(self, scale: float = DEFAULT_SCALE, window: int = 12) -> None:
+        self.scale = scale
+        self.window = window
+        self._results: Dict[_RunKey, SimulationResult] = {}
+        self._workloads: Dict[Tuple[str, float], Workload] = {}
+        self._profiles: Dict[Tuple[str, int], EntropyProfile] = {}
+        self._gddr5_map = hynix_gddr5_map()
+        self._stacked = stacked_memory_config()
+        self._suite_profile: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def workload(self, benchmark: str, scale: Optional[float] = None) -> Workload:
+        key = (benchmark, scale if scale is not None else self.scale)
+        if key not in self._workloads:
+            self._workloads[key] = build_workload(benchmark, scale=key[1])
+        return self._workloads[key]
+
+    def address_map(self, memory: str = "gddr5") -> AddressMap:
+        if memory == "gddr5":
+            return self._gddr5_map
+        if memory == "stacked":
+            return self._stacked.address_map
+        raise ValueError(f"unknown memory kind {memory!r}")
+
+    def suite_average_entropy(self, memory: str = "gddr5") -> np.ndarray:
+        """Per-bit average window entropy across the full suite.
+
+        This is what the paper's RMP is built from: "we first gather
+        the entropy of all our GPU-compute benchmarks and aggregate
+        this into a global entropy profile" (Section IV-B).
+        """
+        if self._suite_profile is None:
+            self._suite_profile = {}
+        if memory not in self._suite_profile:
+            from ..core.entropy import average_entropy_profile
+
+            profiles = [self.entropy_profile(b, memory=memory) for b in ALL_BENCHMARKS]
+            self._suite_profile[memory] = average_entropy_profile(profiles)
+        return self._suite_profile[memory]
+
+    def scheme(self, name: str, seed: int = 0, memory: str = "gddr5") -> MappingScheme:
+        entropy_by_bit = None
+        if name.upper() == "RMP":
+            entropy_by_bit = self.suite_average_entropy(memory)
+        return build_scheme(
+            name, self.address_map(memory), seed=seed, entropy_by_bit=entropy_by_bit
+        )
+
+    def entropy_profile(
+        self, benchmark: str, window: Optional[int] = None, memory: str = "gddr5"
+    ) -> EntropyProfile:
+        """Window-based entropy profile of a benchmark (BASE addresses)."""
+        w = window if window is not None else self.window
+        key = (benchmark, w, memory)
+        if key not in self._profiles:
+            workload = self.workload(benchmark)
+            self._profiles[key] = application_entropy_profile(
+                workload.entropy_kernel_inputs(), self.address_map(memory), w,
+                label=benchmark,
+            )
+        return self._profiles[key]
+
+    def mapped_entropy_profile(
+        self, benchmark: str, scheme_name: str, seed: int = 0,
+        window: Optional[int] = None,
+    ) -> EntropyProfile:
+        """Entropy profile of the *mapped* addresses (paper Fig. 10)."""
+        w = window if window is not None else self.window
+        workload = self.workload(benchmark)
+        scheme = self.scheme(scheme_name, seed=seed)
+        kernels = []
+        for tb_arrays, weight in workload.entropy_kernel_inputs():
+            mapped = [np.atleast_1d(scheme.map(a)) for a in tb_arrays]
+            kernels.append((mapped, weight))
+        return application_entropy_profile(
+            kernels, self._gddr5_map, w, label=f"{benchmark}/{scheme_name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        benchmark: str,
+        scheme_name: str,
+        seed: int = 0,
+        n_sms: int = 12,
+        memory: str = "gddr5",
+        scale: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run (memoized) one simulation."""
+        actual_scale = scale if scale is not None else self.scale
+        key = _RunKey(benchmark, scheme_name, seed, n_sms, memory, actual_scale)
+        if key in self._results:
+            return self._results[key]
+        workload = self.workload(benchmark, actual_scale)
+        scheme = self.scheme(scheme_name, seed=seed, memory=memory)
+        if memory == "gddr5":
+            timing: DRAMTiming = gddr5_timing()
+            power_params = None
+        else:
+            timing = self._stacked.timing
+            power_params = self._stacked.power_params
+        config = config_with_sms(n_sms)
+        system = GPUSystem(
+            scheme, config=config, timing=timing, dram_power_params=power_params
+        )
+        result = system.run(workload)
+        self._results[key] = result
+        return result
+
+    def sweep(
+        self,
+        benchmarks: Iterable[str] = VALLEY_BENCHMARKS,
+        schemes: Iterable[str] = SCHEME_NAMES,
+        **kwargs,
+    ) -> Dict[Tuple[str, str], SimulationResult]:
+        """Run a benchmark x scheme matrix (memoized)."""
+        out: Dict[Tuple[str, str], SimulationResult] = {}
+        for benchmark in benchmarks:
+            for scheme_name in schemes:
+                out[(benchmark, scheme_name)] = self.run(benchmark, scheme_name, **kwargs)
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def speedups(
+        self,
+        benchmarks: Iterable[str] = VALLEY_BENCHMARKS,
+        schemes: Iterable[str] = SCHEME_NAMES,
+        **kwargs,
+    ) -> Dict[Tuple[str, str], float]:
+        """Speedup over BASE per (benchmark, scheme) — Fig. 12/20."""
+        benchmarks = list(benchmarks)
+        results = self.sweep(benchmarks, list(set(list(schemes) + ["BASE"])), **kwargs)
+        return {
+            (b, s): speedup(results[(b, s)], results[(b, "BASE")])
+            for b in benchmarks
+            for s in schemes
+        }
+
+    def mean_speedup(
+        self, scheme_name: str,
+        benchmarks: Iterable[str] = VALLEY_BENCHMARKS,
+        aggregate=harmonic_mean,
+        **kwargs,
+    ) -> float:
+        ups = self.speedups(benchmarks, [scheme_name], **kwargs)
+        return aggregate(list(ups.values()))
+
+    def perf_per_watt(
+        self,
+        benchmarks: Iterable[str] = VALLEY_BENCHMARKS,
+        schemes: Iterable[str] = SCHEME_NAMES,
+        **kwargs,
+    ) -> Dict[Tuple[str, str], float]:
+        """Perf/Watt normalized to BASE — Fig. 17."""
+        benchmarks = list(benchmarks)
+        results = self.sweep(benchmarks, list(set(list(schemes) + ["BASE"])), **kwargs)
+        return {
+            (b, s): perf_per_watt_ratio(results[(b, s)], results[(b, "BASE")])
+            for b in benchmarks
+            for s in schemes
+        }
+
+    def dram_power_ratio(
+        self, scheme_name: str, benchmarks: Iterable[str] = VALLEY_BENCHMARKS, **kwargs
+    ) -> float:
+        """Mean DRAM power relative to BASE — Fig. 11's x axis."""
+        ratios = []
+        for b in benchmarks:
+            base = self.run(b, "BASE", **kwargs)
+            res = self.run(b, scheme_name, **kwargs)
+            ratios.append(res.dram_power.total / base.dram_power.total)
+        return arithmetic_mean(ratios)
+
+    def cached_runs(self) -> int:
+        return len(self._results)

@@ -1,0 +1,69 @@
+"""System-level (GPU + DRAM) power and efficiency views.
+
+The paper's Fig. 17 normalizes performance per Watt of *total system
+power* to the BASE mapping; Fig. 11 plots execution time against
+*DRAM* power.  The heavy lifting lives in the simulation results and
+the per-domain power models — this module provides the comparison
+views the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
+
+__all__ = ["PowerComparison", "compare_to_base", "normalized_views"]
+
+
+@dataclass(frozen=True)
+class PowerComparison:
+    """One scheme's run measured against its BASE run."""
+
+    workload: str
+    scheme: str
+    speedup: float
+    dram_power_ratio: float
+    system_power_ratio: float
+    perf_per_watt_ratio: float
+    activate_ratio: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload}/{self.scheme}: {self.speedup:.2f}x speed, "
+            f"DRAM power x{self.dram_power_ratio:.2f}, "
+            f"perf/W x{self.perf_per_watt_ratio:.2f}"
+        )
+
+
+def compare_to_base(
+    result: SimulationResult, base: SimulationResult
+) -> PowerComparison:
+    """Normalize one run against its BASE-mapping run (same workload)."""
+    activate_ratio = (
+        result.dram_activates / base.dram_activates if base.dram_activates else 1.0
+    )
+    return PowerComparison(
+        workload=result.workload,
+        scheme=result.scheme,
+        speedup=speedup(result, base),
+        dram_power_ratio=result.dram_power.total / base.dram_power.total,
+        system_power_ratio=result.system_power / base.system_power,
+        perf_per_watt_ratio=perf_per_watt_ratio(result, base),
+        activate_ratio=activate_ratio,
+    )
+
+
+def normalized_views(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+) -> Dict[Tuple[str, str], PowerComparison]:
+    """Comparison records for a whole benchmark x scheme sweep."""
+    out: Dict[Tuple[str, str], PowerComparison] = {}
+    for benchmark in benchmarks:
+        base = results[(benchmark, "BASE")]
+        for scheme in schemes:
+            out[(benchmark, scheme)] = compare_to_base(results[(benchmark, scheme)], base)
+    return out

@@ -1,0 +1,70 @@
+"""Fixed-width table and series printers for the bench harness.
+
+Every benchmark file regenerates one of the paper's tables or figures
+as text: a figure becomes the series of values its bars/lines plot.
+These helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "format_grouped_bars", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A visually distinct section header."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append([
+            floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, points: Sequence[Tuple[object, float]], floatfmt: str = "{:.3f}"
+) -> str:
+    """Render an (x, y) series — one figure line/curve — as text."""
+    cells = ", ".join(f"{x}={floatfmt.format(y)}" for x, y in points)
+    return f"{label}: {cells}"
+
+
+def format_grouped_bars(
+    group_names: Sequence[str],
+    bar_names: Sequence[str],
+    values: Mapping[Tuple[str, str], float],
+    value_header: str = "value",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render a grouped-bar figure (benchmark x scheme) as a table."""
+    rows = []
+    for group in group_names:
+        row: List[object] = [group]
+        for bar in bar_names:
+            row.append(float(values[(group, bar)]))
+        rows.append(row)
+    return format_table([value_header] + list(bar_names), rows, floatfmt)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``schemes``
+    List the six mapping schemes with their hardware cost.
+``map``
+    Map one address through a scheme and show the DRAM coordinates.
+``entropy``
+    Window-based entropy profile of a benchmark (ASCII bars + valleys).
+``simulate``
+    Run one benchmark under one or more schemes and print the paper's
+    headline metrics.
+``export-scheme``
+    Serialize a scheme's BIM to JSON (for RTL generators / configs).
+
+Examples
+--------
+::
+
+    python -m repro schemes
+    python -m repro map 0x12345680 --scheme PAE
+    python -m repro entropy MT
+    python -m repro simulate SRAD2 --schemes BASE,PM,PAE --scale 0.5
+    python -m repro export-scheme PAE --seed 1 -o pae.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.report import format_table
+from .core import SCHEME_NAMES, build_scheme, find_entropy_valleys, hynix_gddr5_map
+from .core.entropy import application_entropy_profile
+from .core.serialize import dump_scheme
+from .sim.gpu_system import simulate
+from .sim.results import perf_per_watt_ratio, speedup
+from .workloads.suite import ALL_BENCHMARKS, build_workload
+
+__all__ = ["main"]
+
+
+def _cmd_schemes(args) -> int:
+    amap = hynix_gddr5_map()
+    rows = []
+    for name in SCHEME_NAMES:
+        scheme = build_scheme(name, amap, seed=args.seed)
+        rows.append([
+            name, scheme.strategy, scheme.bim.xor_gate_count(),
+            scheme.bim.xor_tree_depth(), scheme.extra_latency_cycles,
+        ])
+    print(format_table(
+        ["scheme", "strategy", "XOR gates", "tree depth", "latency (cyc)"], rows
+    ))
+    return 0
+
+
+def _cmd_map(args) -> int:
+    amap = hynix_gddr5_map()
+    scheme = build_scheme(args.scheme, amap, seed=args.seed)
+    address = int(args.address, 0)
+    if not 0 <= address < amap.capacity:
+        print(f"error: address must be within the {amap.width}-bit space",
+              file=sys.stderr)
+        return 2
+    mapped = int(scheme.map(address))
+    rows = [
+        ["input", f"0x{address:08x}"] + [
+            str(v) for v in amap.decode(address).values()
+        ],
+        ["mapped", f"0x{mapped:08x}"] + [
+            str(v) for v in amap.decode(mapped).values()
+        ],
+    ]
+    print(format_table(["", "address"] + list(amap.field_names), rows))
+    return 0
+
+
+def _cmd_entropy(args) -> int:
+    amap = hynix_gddr5_map()
+    workload = build_workload(args.benchmark, scale=args.scale)
+    profile = application_entropy_profile(
+        workload.entropy_kernel_inputs(), amap, args.window,
+        label=args.benchmark,
+    )
+    parallel = set(amap.parallel_bits())
+    for bit in sorted(amap.non_block_bits(), reverse=True):
+        bar = "#" * int(round(profile.values[bit] * 40))
+        marker = " <- channel/bank" if bit in parallel else ""
+        print(f"bit {bit:2d} |{bar:<40}|{marker}")
+    print(f"\nvalleys: {find_entropy_valleys(profile) or 'none'}")
+    print(f"channel/bank-bit entropy: {profile.parallel_bit_entropy():.3f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    amap = hynix_gddr5_map()
+    workload = build_workload(args.benchmark, scale=args.scale)
+    names = [n.strip().upper() for n in args.schemes.split(",")]
+    if "BASE" not in names:
+        names.insert(0, "BASE")
+    results = {}
+    for name in names:
+        print(f"simulating {args.benchmark} under {name} ...", file=sys.stderr)
+        results[name] = simulate(workload, build_scheme(name, amap, seed=args.seed))
+    base = results["BASE"]
+    rows = [
+        [name, r.cycles, speedup(r, base), r.row_hit_rate * 100,
+         r.channel_parallelism, r.dram_power.total, perf_per_watt_ratio(r, base)]
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["scheme", "cycles", "speedup", "row-hit %", "chan MLP",
+         "DRAM W", "perf/W"],
+        rows, floatfmt="{:.2f}",
+    ))
+    return 0
+
+
+def _cmd_export_scheme(args) -> int:
+    amap = hynix_gddr5_map()
+    scheme = build_scheme(args.scheme, amap, seed=args.seed)
+    dump_scheme(scheme, args.output)
+    print(f"wrote {scheme.name} (seed {args.seed}) to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Get Out of the Valley' (ISCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schemes", help="list mapping schemes and hardware cost")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_schemes)
+
+    p = sub.add_parser("map", help="map one address through a scheme")
+    p.add_argument("address", help="address (decimal or 0x-hex)")
+    p.add_argument("--scheme", default="PAE", choices=SCHEME_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("entropy", help="entropy profile of a benchmark")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(func=_cmd_entropy)
+
+    p = sub.add_parser("simulate", help="simulate a benchmark under schemes")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p.add_argument("--schemes", default="BASE,PM,PAE",
+                   help="comma-separated scheme names")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("export-scheme", help="serialize a scheme to JSON")
+    p.add_argument("scheme", choices=SCHEME_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="scheme.json")
+    p.set_defaults(func=_cmd_export_scheme)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,285 @@
+"""Physical address maps: named bit-fields of a DRAM address.
+
+An :class:`AddressMap` names every bit of a physical address with the
+DRAM resource it selects (row, column, bank, channel, block offset,
+and for 3D-stacked parts also vault and stack).  It provides
+encode/decode between flat addresses and per-field coordinates, and
+the field-to-bit queries the mapping schemes are built from.
+
+The module ships the two maps used in the paper:
+
+* :func:`hynix_gddr5_map` — the 30-bit baseline map of Figure 4
+  (1 GB Hynix GDDR5: 4 channels, 16 banks, 4K rows, 64 columns,
+  64 B blocks).  Field placement follows the paper's text: channel
+  bits are 8-9, bank bits 10-13 ("entropy valley for channel bits 8-9
+  and bank bit 10", Section IV-B).
+* :func:`stacked_memory_map` — the 3D-stacked configuration of the
+  Figure 18 sensitivity study (4 stacks x 16 vaults x 16 banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "AddressField",
+    "AddressMap",
+    "AddressMapError",
+    "hynix_gddr5_map",
+    "stacked_memory_map",
+    "toy_map",
+    "PARALLEL_FIELDS",
+    "PAGE_FIELDS",
+]
+
+# Fields whose selection determines which parallel DRAM unit serves a
+# request.  These are the bits a good mapping must keep high-entropy.
+PARALLEL_FIELDS: Tuple[str, ...] = ("channel", "bank", "vault", "stack")
+
+# Fields that make up the DRAM *page address*: everything except the
+# column and block offsets.  PAE harvests entropy from exactly these.
+PAGE_FIELDS: Tuple[str, ...] = ("row", "bank", "channel", "vault", "stack")
+
+
+class AddressMapError(ValueError):
+    """Raised for malformed address maps or out-of-range coordinates."""
+
+
+@dataclass(frozen=True)
+class AddressField:
+    """One named field of an address map.
+
+    ``bits`` lists the physical bit positions the field occupies,
+    ordered least-significant first: ``bits[0]`` carries bit 0 of the
+    field's value.
+    """
+
+    name: str
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AddressMapError("field name must be non-empty")
+        if len(set(self.bits)) != len(self.bits):
+            raise AddressMapError(f"field {self.name!r} repeats bit positions: {self.bits}")
+        if any(b < 0 for b in self.bits):
+            raise AddressMapError(f"field {self.name!r} has negative bit positions: {self.bits}")
+
+    @property
+    def width(self) -> int:
+        """Field width in bits."""
+        return len(self.bits)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values the field can take."""
+        return 1 << len(self.bits)
+
+    def extract(self, address: int) -> int:
+        """Read this field's value out of a flat address."""
+        value = 0
+        for i, bit in enumerate(self.bits):
+            value |= ((address >> bit) & 1) << i
+        return value
+
+    def insert(self, address: int, value: int) -> int:
+        """Return *address* with this field overwritten by *value*."""
+        if not 0 <= value < self.size:
+            raise AddressMapError(
+                f"value {value} out of range for {self.width}-bit field {self.name!r}"
+            )
+        for i, bit in enumerate(self.bits):
+            address &= ~(1 << bit)
+            address |= ((value >> i) & 1) << bit
+        return address
+
+
+class AddressMap:
+    """A complete partition of an address into named fields.
+
+    Every bit of the *width*-bit address must belong to exactly one
+    field; gaps and overlaps are construction errors.
+    """
+
+    def __init__(self, width: int, fields: Sequence[AddressField]) -> None:
+        if width <= 0:
+            raise AddressMapError(f"address width must be positive, got {width}")
+        self._width = width
+        self._fields: Dict[str, AddressField] = {}
+        claimed: Dict[int, str] = {}
+        for f in fields:
+            if f.name in self._fields:
+                raise AddressMapError(f"duplicate field {f.name!r}")
+            for bit in f.bits:
+                if bit >= width:
+                    raise AddressMapError(
+                        f"field {f.name!r} uses bit {bit} beyond width {width}"
+                    )
+                if bit in claimed:
+                    raise AddressMapError(
+                        f"bit {bit} claimed by both {claimed[bit]!r} and {f.name!r}"
+                    )
+                claimed[bit] = f.name
+            self._fields[f.name] = f
+        missing = [b for b in range(width) if b not in claimed]
+        if missing:
+            raise AddressMapError(f"bits not covered by any field: {missing}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total address width in bits."""
+        return self._width
+
+    @property
+    def capacity(self) -> int:
+        """Total bytes addressed (2**width)."""
+        return 1 << self._width
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def field(self, name: str) -> AddressField:
+        """Look up a field by name."""
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise AddressMapError(f"no field named {name!r}; have {self.field_names}") from None
+
+    def bits_of(self, *names: str) -> Tuple[int, ...]:
+        """All bit positions of the named fields (sorted ascending).
+
+        Unknown names are ignored so callers can pass the generic
+        PAGE_FIELDS / PARALLEL_FIELDS tuples against any map.
+        """
+        bits: List[int] = []
+        for name in names:
+            if name in self._fields:
+                bits.extend(self._fields[name].bits)
+        return tuple(sorted(bits))
+
+    def parallel_bits(self) -> Tuple[int, ...]:
+        """Bits selecting parallel DRAM units (channel/bank/vault/stack)."""
+        return self.bits_of(*PARALLEL_FIELDS)
+
+    def page_bits(self) -> Tuple[int, ...]:
+        """Bits of the DRAM page address (row + parallel-unit bits)."""
+        return self.bits_of(*PAGE_FIELDS)
+
+    def block_bits(self) -> Tuple[int, ...]:
+        """Bits that are offsets within a DRAM block (never remapped)."""
+        return self.bits_of("block")
+
+    def non_block_bits(self) -> Tuple[int, ...]:
+        """All bits except the block offset."""
+        block = set(self.block_bits())
+        return tuple(b for b in range(self._width) if b not in block)
+
+    def sizes(self) -> Dict[str, int]:
+        """Mapping of field name to number of distinct values."""
+        return {name: f.size for name, f in self._fields.items()}
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> Dict[str, int]:
+        """Split a flat address into per-field coordinates."""
+        if not 0 <= address < self.capacity:
+            raise AddressMapError(
+                f"address 0x{address:x} out of range for {self._width}-bit map"
+            )
+        return {name: f.extract(address) for name, f in self._fields.items()}
+
+    def encode(self, **coordinates: int) -> int:
+        """Build a flat address from per-field coordinates.
+
+        Unspecified fields default to 0.  Unknown field names raise.
+        """
+        address = 0
+        for name, value in coordinates.items():
+            address = self.field(name).insert(address, value)
+        return address
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{f.width}b]" for name, f in sorted(
+                self._fields.items(), key=lambda kv: -max(kv[1].bits)
+            )
+        )
+        return f"AddressMap(width={self._width}, {parts})"
+
+
+def _bit_range(low: int, high: int) -> Tuple[int, ...]:
+    """Bits low..high inclusive, LSB first."""
+    return tuple(range(low, high + 1))
+
+
+def hynix_gddr5_map() -> AddressMap:
+    """The paper's 30-bit baseline Hynix GDDR5 address map (Fig. 4).
+
+    Layout (MSB to LSB)::
+
+        row[29:18] | col_hi[17:14] | bank[13:10] | channel[9:8] | col_lo[7:6] | block[5:0]
+
+    which yields 4K rows/bank, 16 banks/channel, 4 channels,
+    64 columns/row (split 4+2) and 64 B blocks — 1 GB total.  The
+    split column field is represented as a single "col" field whose
+    low 2 bits sit at positions 7:6 and high 4 bits at 17:14.
+    """
+    return AddressMap(
+        30,
+        [
+            AddressField("block", _bit_range(0, 5)),
+            AddressField("col", _bit_range(6, 7) + _bit_range(14, 17)),
+            AddressField("channel", _bit_range(8, 9)),
+            AddressField("bank", _bit_range(10, 13)),
+            AddressField("row", _bit_range(18, 29)),
+        ],
+    )
+
+
+def stacked_memory_map() -> AddressMap:
+    """Address map for the 3D-stacked configuration of Figure 18.
+
+    4 stacks x 16 vaults/stack x 16 banks/vault, keeping 4K rows,
+    64 columns and 64 B blocks per bank (4 GB total, 32-bit address).
+    The mapping schemes randomize the 2 stack + 4 vault + 4 bank bits,
+    matching the paper ("randomize 2 channel bits, 4 vault bits and
+    4 bank bits"; the stack plays the channel role).
+    """
+    return AddressMap(
+        32,
+        [
+            AddressField("block", _bit_range(0, 5)),
+            AddressField("col", _bit_range(6, 7) + _bit_range(16, 19)),
+            AddressField("stack", _bit_range(8, 9)),
+            AddressField("vault", _bit_range(10, 13)),
+            AddressField("bank", _bit_range(14, 15)  # low 2 bank bits
+                          + _bit_range(20, 21)),     # high 2 bank bits
+            AddressField("row", _bit_range(22, 31)),
+        ],
+    )
+
+
+def toy_map() -> AddressMap:
+    """The 5-bit example map of the paper's Figure 6 (plus a block bit).
+
+    ``row[5:3] | channel[2] | bank[1] | block[0]`` — handy in tests and
+    in the motivating-example code.
+    """
+    return AddressMap(
+        6,
+        [
+            AddressField("block", (0,)),
+            AddressField("bank", (1,)),
+            AddressField("channel", (2,)),
+            AddressField("row", (3, 4, 5)),
+        ],
+    )

@@ -1,0 +1,133 @@
+"""Serialization of BIMs and mapping schemes.
+
+A deployed mapping scheme is burned into hardware as a fixed matrix,
+so a reproducible, human-diffable on-disk representation matters: it
+is what an RTL generator or a simulator configuration would consume.
+
+Format: JSON with the matrix packed as one hex string per row
+(row i = output bit i; bit j of the row value = input bit j), e.g.::
+
+    {
+      "type": "mapping_scheme",
+      "name": "PAE",
+      "strategy": "broad",
+      "width": 30,
+      "rows": ["0x1", "0x2", ...],
+      "extra_latency_cycles": 1,
+      "metadata": {...}
+    }
+
+Round-trips are exact (the matrix is bit-identical), and loading
+re-validates invertibility through the normal BIM constructor, so a
+corrupted file can never produce a colliding mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from .address_map import AddressMap
+from .bim import BinaryInvertibleMatrix
+from .schemes import MappingScheme
+
+__all__ = [
+    "bim_to_dict",
+    "bim_from_dict",
+    "scheme_to_dict",
+    "scheme_from_dict",
+    "dump_scheme",
+    "load_scheme",
+]
+
+_FORMAT_BIM = "bim"
+_FORMAT_SCHEME = "mapping_scheme"
+
+
+def _rows_to_hex(matrix: np.ndarray) -> list:
+    weights = np.uint64(1) << np.arange(matrix.shape[1], dtype=np.uint64)
+    return [hex(int((row.astype(np.uint64) * weights).sum())) for row in matrix]
+
+
+def _rows_from_hex(rows, width: int) -> np.ndarray:
+    matrix = np.zeros((len(rows), width), dtype=np.uint8)
+    for i, text in enumerate(rows):
+        value = int(text, 16)
+        if value >> width:
+            raise ValueError(f"row {i} uses bits beyond width {width}: {text}")
+        for j in range(width):
+            matrix[i, j] = (value >> j) & 1
+    return matrix
+
+
+def bim_to_dict(bim: BinaryInvertibleMatrix) -> Dict:
+    """Portable dict representation of a BIM."""
+    return {
+        "type": _FORMAT_BIM,
+        "width": bim.width,
+        "rows": _rows_to_hex(bim.matrix),
+    }
+
+
+def bim_from_dict(data: Dict) -> BinaryInvertibleMatrix:
+    """Rebuild (and re-validate) a BIM from :func:`bim_to_dict` output."""
+    if data.get("type") != _FORMAT_BIM:
+        raise ValueError(f"not a serialized BIM: type={data.get('type')!r}")
+    width = int(data["width"])
+    rows = data["rows"]
+    if len(rows) != width:
+        raise ValueError(f"expected {width} rows, got {len(rows)}")
+    return BinaryInvertibleMatrix(_rows_from_hex(rows, width))
+
+
+def scheme_to_dict(scheme: MappingScheme) -> Dict:
+    """Portable dict representation of a full mapping scheme."""
+    metadata = {
+        key: (list(value) if isinstance(value, tuple) else value)
+        for key, value in scheme.metadata.items()
+    }
+    return {
+        "type": _FORMAT_SCHEME,
+        "name": scheme.name,
+        "strategy": scheme.strategy,
+        "width": scheme.bim.width,
+        "rows": _rows_to_hex(scheme.bim.matrix),
+        "extra_latency_cycles": scheme.extra_latency_cycles,
+        "metadata": metadata,
+    }
+
+
+def scheme_from_dict(data: Dict, address_map: AddressMap) -> MappingScheme:
+    """Rebuild a scheme against *address_map* (widths must agree)."""
+    if data.get("type") != _FORMAT_SCHEME:
+        raise ValueError(f"not a serialized scheme: type={data.get('type')!r}")
+    width = int(data["width"])
+    if width != address_map.width:
+        raise ValueError(
+            f"serialized width {width} does not match address map width "
+            f"{address_map.width}"
+        )
+    bim = BinaryInvertibleMatrix(_rows_from_hex(data["rows"], width))
+    return MappingScheme(
+        name=str(data["name"]),
+        bim=bim,
+        address_map=address_map,
+        strategy=str(data.get("strategy", "broad")),
+        extra_latency_cycles=int(data.get("extra_latency_cycles", 1)),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def dump_scheme(scheme: MappingScheme, path) -> None:
+    """Write a scheme to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(scheme_to_dict(scheme), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_scheme(path, address_map: AddressMap) -> MappingScheme:
+    """Read a scheme from a JSON file (re-validating invertibility)."""
+    with open(path) as handle:
+        return scheme_from_dict(json.load(handle), address_map)

@@ -1,0 +1,108 @@
+"""DRAM bank state machine.
+
+A bank is either *precharged* (no open row) or *active* with one row
+latched in its row buffer.  Accessing a row that is already open is a
+**row hit** and only pays the column latency.  Accessing with the bank
+precharged is a **row miss** (activate first, tRCD).  Accessing while
+a *different* row is open is a **row conflict**: the open page must be
+precharged (respecting tRAS since its activation), reactivated, and
+only then read — the expensive case that load imbalance multiplies and
+that the paper's activate-power results hinge on.
+
+The bank tracks when it can next accept a command and counts every
+outcome category for the row-buffer hit rate (Fig. 15) and the
+activate-power component (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .timing import DRAMTiming
+
+__all__ = ["Bank", "AccessKind"]
+
+
+class AccessKind:
+    """Row-buffer outcome categories."""
+
+    HIT = "hit"
+    MISS = "miss"  # bank was precharged
+    CONFLICT = "conflict"  # different row was open
+
+    ALL = (HIT, MISS, CONFLICT)
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: row-buffer state, timing bookkeeping and counters."""
+
+    timing: DRAMTiming
+    open_row: Optional[int] = None
+    ready_at: int = 0
+    activated_at: int = -(10**9)
+    activates: int = 0
+    precharges: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    def pending_kind(self, row: int) -> str:
+        """Classify what accessing *row* right now would be."""
+        if self.open_row is None:
+            return AccessKind.MISS
+        if self.open_row == row:
+            return AccessKind.HIT
+        return AccessKind.CONFLICT
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses + self.row_conflicts
+
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses served from the open row buffer."""
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def access(self, row: int, now: int, earliest_activate: int = 0) -> Tuple[int, str]:
+        """Issue the command sequence to read/write *row*.
+
+        Returns ``(column_command_time, kind)``: the cycle at which the
+        column (read/write) command fires, and the row-buffer outcome.
+        *earliest_activate* carries channel-level activate constraints
+        (tRRD/tFAW): if this access needs an ACT, the ACT is delayed to
+        at least that cycle.  The caller is responsible for data-bus
+        arbitration and for spacing the *next* command via
+        :meth:`occupy_until`.
+        """
+        t = self.timing
+        start = max(now, self.ready_at)
+        kind = self.pending_kind(row)
+        if kind == AccessKind.HIT:
+            read_at = start
+            self.row_hits += 1
+        elif kind == AccessKind.MISS:
+            activate_at = max(start, earliest_activate)
+            read_at = activate_at + t.t_rcd
+            self._activate(row, activate_at)
+            self.row_misses += 1
+        else:
+            # Precharge may not start before tRAS has elapsed since the
+            # open row's activation; the new ACT additionally respects
+            # the channel-level activate spacing.
+            precharge_at = max(start, self.activated_at + t.t_ras)
+            activate_at = max(precharge_at + t.t_rp, earliest_activate)
+            read_at = activate_at + t.t_rcd
+            self.precharges += 1
+            self._activate(row, activate_at)
+            self.row_conflicts += 1
+        return read_at, kind
+
+    def occupy_until(self, cycle: int) -> None:
+        """Block further commands to this bank until *cycle*."""
+        self.ready_at = max(self.ready_at, cycle)
+
+    def _activate(self, row: int, when: int) -> None:
+        self.open_row = row
+        self.activated_at = when
+        self.activates += 1

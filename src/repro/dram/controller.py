@@ -1,0 +1,193 @@
+"""Per-channel memory controller.
+
+Owns the channel's banks, its FR-FCFS request queues and the shared
+data bus, and drives them through the discrete-event engine:
+
+* requests arrive via :meth:`MemoryController.submit`,
+* whenever a bank or the bus frees up the controller re-runs the
+  scheduler and issues every request that can start,
+* the completion callback fires when the request's data burst finishes
+  on the bus.
+
+Timing model per issued request (see :mod:`repro.dram.bank` for the
+row-buffer cases)::
+
+    column_cmd = bank.access(row)          # hit / miss / conflict path
+    data_start = max(column_cmd + CL, bus_free)
+    data_end   = data_start + tBURST
+    bank ready for next command at column_cmd + tCCD
+
+Activates on one channel are additionally spaced by tRRD.  The
+controller issues at most ``issue_horizon`` bursts ahead of the bus to
+bound command pipelining.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Engine
+from .bank import AccessKind, Bank
+from .scheduler import DRAMRequest, FRFCFSScheduler
+from .timing import DRAMTiming
+
+__all__ = ["MemoryController"]
+
+CompletionCallback = Callable[[DRAMRequest, int], None]
+
+
+class MemoryController:
+    """One DRAM channel: banks + scheduler + data bus arbitration."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        timing: DRAMTiming,
+        channel_id: int,
+        on_complete: Optional[CompletionCallback] = None,
+        scheduler: Optional[FRFCFSScheduler] = None,
+        max_inflight: int = 48,
+    ) -> None:
+        self._engine = engine
+        self._timing = timing
+        self.channel_id = channel_id
+        self._on_complete = on_complete
+        self._scheduler = scheduler if scheduler is not None else FRFCFSScheduler(
+            timing.banks_per_channel
+        )
+        self.banks: List[Bank] = [Bank(timing) for _ in range(timing.banks_per_channel)]
+        self._bus_free_at = 0
+        self._last_activate_at = -(10**9)
+        # Issued-but-untransferred commands; bounds command pipelining
+        # like a real controller's finite command queue.
+        self._inflight = 0
+        self._max_inflight = max_inflight
+        self._wake_scheduled_at: Optional[int] = None
+        # Statistics.
+        self.reads = 0
+        self.writes = 0
+        self.requests_seen = 0
+        self.busy_cycles = 0  # data-bus occupancy
+        self.queue_wait_total = 0  # arrival -> issue, summed
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: DRAMRequest) -> None:
+        """Queue a request (bank/row already decoded by the caller)."""
+        if not 0 <= request.bank < self._timing.banks_per_channel:
+            raise ValueError(
+                f"bank {request.bank} out of range for channel with "
+                f"{self._timing.banks_per_channel} banks"
+            )
+        self.requests_seen += 1
+        self._scheduler.enqueue(request)
+        self._pump()
+
+    @property
+    def pending(self) -> int:
+        return len(self._scheduler)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Issue every request that can start now; arrange a wake otherwise."""
+        now = self._engine.now
+        while True:
+            if self._scheduler.empty:
+                return
+            # Finite command queue: wait for transfers to drain before
+            # issuing further ahead (the drain event re-pumps).
+            if self._inflight >= self._max_inflight:
+                return
+            request, next_ready = self._scheduler.select(self.banks, now)
+            if request is None:
+                if next_ready is not None:
+                    self._wake_at(next_ready)
+                return
+            self._issue(request, now)
+
+    def _issue(self, request: DRAMRequest, now: int) -> None:
+        t = self._timing
+        bank = self.banks[request.bank]
+        # Space activates channel-wide by tRRD: the bank delays the ACT
+        # command (not the whole access) past last_activate + tRRD.
+        column_cmd, kind = bank.access(
+            request.row, now, earliest_activate=self._last_activate_at + t.t_rrd
+        )
+        if kind != AccessKind.HIT:
+            self._last_activate_at = max(self._last_activate_at, column_cmd - t.t_rcd)
+        data_start = max(column_cmd + t.cl, self._bus_free_at)
+        data_end = data_start + t.t_burst
+        self._bus_free_at = data_end
+        self.busy_cycles += t.t_burst
+        bank.occupy_until(column_cmd + t.t_ccd)
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.queue_wait_total += max(0, now - request.arrival)
+        self._inflight += 1
+        self._engine.at(data_end, lambda r=request, d=data_end: self._data_done(r, d))
+        # The bank frees at column_cmd + tCCD which may be < data_end;
+        # try to issue more work then.
+        self._wake_at(column_cmd + t.t_ccd)
+
+    def _data_done(self, request: DRAMRequest, when: int) -> None:
+        self._inflight -= 1
+        if self._on_complete is not None:
+            self._on_complete(request, when)
+        self._pump()
+
+    def _wake_at(self, time: int) -> None:
+        time = max(time, self._engine.now)
+        if self._wake_scheduled_at is not None and self._wake_scheduled_at <= time:
+            return
+        self._wake_scheduled_at = time
+        self._engine.at(time, self._wake)
+
+    def _wake(self) -> None:
+        # Only the event matching the marker may clear it; stale events
+        # (superseded by an earlier wake) must not, or every stale event
+        # would re-arm a duplicate and wakes would multiply.
+        if self._wake_scheduled_at == self._engine.now:
+            self._wake_scheduled_at = None
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def activates(self) -> int:
+        return sum(b.activates for b in self.banks)
+
+    @property
+    def precharges(self) -> int:
+        return sum(b.precharges for b in self.banks)
+
+    @property
+    def row_hits(self) -> int:
+        return sum(b.row_hits for b in self.banks)
+
+    @property
+    def accesses(self) -> int:
+        return sum(b.accesses for b in self.banks)
+
+    def row_hit_rate(self) -> float:
+        """Channel-wide row buffer hit rate."""
+        total = self.accesses
+        return self.row_hits / total if total else 0.0
+
+    def bandwidth_utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles the data bus moved data."""
+        return self.busy_cycles / elapsed_cycles if elapsed_cycles else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryController(channel={self.channel_id}, pending={self.pending}, "
+            f"reads={self.reads}, writes={self.writes})"
+        )

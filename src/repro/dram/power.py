@@ -1,0 +1,138 @@
+"""Micron-style DRAM power model (paper Section V, "Power modeling").
+
+Follows the structure of Micron's DDR power methodology (TN-41-01),
+configured for a GDDR5-class part: power is the sum of
+
+* **background** — always-on standby power, proportional to time
+  (higher while rows are open, but we fold that into one rate),
+* **refresh** — periodic refresh bursts, proportional to time,
+* **activate** — one ACT+PRE energy quantum per row activation;
+  this is the component address mapping moves (Fig. 16): schemes that
+  break row locality (FAE, ALL) pay many more activations,
+* **read** / **write** — per-burst I/O and array energy.
+
+Energies are configured in nanojoules per event and rates in watts;
+defaults are representative GDDR5 magnitudes chosen so a fully loaded
+4-channel part lands in the tens of watts, like the paper's Fig. 16.
+Absolute accuracy is not claimed (we have no silicon); *proportional*
+behaviour — activate power tracking the activation count — is what
+the reproduction relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from .controller import MemoryController
+from .timing import DRAMTiming
+
+__all__ = ["DRAMPowerParams", "DRAMPowerBreakdown", "DRAMPowerModel", "gddr5_power_params"]
+
+
+@dataclass(frozen=True)
+class DRAMPowerParams:
+    """Energy/power coefficients for one DRAM configuration."""
+
+    background_watts_per_channel: float = 4.0
+    refresh_watts_per_channel: float = 0.6
+    activate_energy_nj: float = 20.0
+    read_energy_nj: float = 0.8
+    write_energy_nj: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("background_watts_per_channel", self.background_watts_per_channel),
+            ("refresh_watts_per_channel", self.refresh_watts_per_channel),
+            ("activate_energy_nj", self.activate_energy_nj),
+            ("read_energy_nj", self.read_energy_nj),
+            ("write_energy_nj", self.write_energy_nj),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def gddr5_power_params() -> DRAMPowerParams:
+    """Default coefficients for the Hynix GDDR5 configuration."""
+    return DRAMPowerParams()
+
+
+@dataclass(frozen=True)
+class DRAMPowerBreakdown:
+    """Average power per component over a run, in watts (Fig. 16)."""
+
+    background: float
+    refresh: float
+    activate: float
+    read: float
+    write: float
+
+    @property
+    def total(self) -> float:
+        return self.background + self.refresh + self.activate + self.read + self.write
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "background": self.background,
+            "refresh": self.refresh,
+            "activate": self.activate,
+            "read": self.read,
+            "write": self.write,
+            "total": self.total,
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v:.2f}W" for k, v in self.as_dict().items() if k != "total"
+        )
+        return f"DRAM {self.total:.2f}W ({parts})"
+
+
+class DRAMPowerModel:
+    """Turns controller event counts + elapsed time into average power."""
+
+    def __init__(self, timing: DRAMTiming, params: DRAMPowerParams) -> None:
+        self._timing = timing
+        self._params = params
+
+    @property
+    def params(self) -> DRAMPowerParams:
+        return self._params
+
+    def breakdown_from_counts(
+        self,
+        elapsed_cycles: int,
+        activates: int,
+        reads: int,
+        writes: int,
+        channels: int,
+    ) -> DRAMPowerBreakdown:
+        """Average power from raw event counts.
+
+        *elapsed_cycles* are memory-controller cycles; the clock rate
+        converts them to seconds.
+        """
+        if elapsed_cycles <= 0:
+            raise ValueError(f"elapsed_cycles must be positive, got {elapsed_cycles}")
+        seconds = elapsed_cycles / (self._timing.clock_mhz * 1e6)
+        nj = 1e-9
+        return DRAMPowerBreakdown(
+            background=self._params.background_watts_per_channel * channels,
+            refresh=self._params.refresh_watts_per_channel * channels,
+            activate=activates * self._params.activate_energy_nj * nj / seconds,
+            read=reads * self._params.read_energy_nj * nj / seconds,
+            write=writes * self._params.write_energy_nj * nj / seconds,
+        )
+
+    def breakdown(
+        self, controllers: Iterable[MemoryController], elapsed_cycles: int
+    ) -> DRAMPowerBreakdown:
+        """Average power of a set of channel controllers over a run."""
+        controllers = list(controllers)
+        return self.breakdown_from_counts(
+            elapsed_cycles=elapsed_cycles,
+            activates=sum(c.activates for c in controllers),
+            reads=sum(c.reads for c in controllers),
+            writes=sum(c.writes for c in controllers),
+            channels=len(controllers),
+        )

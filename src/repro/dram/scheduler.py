@@ -1,0 +1,160 @@
+"""FR-FCFS request selection (Rixner et al. [17]).
+
+First-Ready First-Come-First-Served picks, among all queued requests
+whose bank can accept a command *now*:
+
+1. the oldest request that is a **row hit** on its bank's open row, or
+2. failing any ready hit, the oldest ready request overall.
+
+The policy is factored out of the memory controller so it can be unit
+tested in isolation and swapped for alternatives (e.g. plain FCFS) in
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bank import Bank
+
+__all__ = ["DRAMRequest", "FRFCFSScheduler", "FCFSScheduler"]
+
+
+@dataclass
+class DRAMRequest:
+    """One memory request as seen by a channel's controller.
+
+    ``bank`` and ``row`` are coordinates decoded from the *mapped*
+    address.  ``payload`` is opaque to the DRAM subsystem and is handed
+    back on completion (the GPU side stores its transaction there).
+    """
+
+    request_id: int
+    bank: int
+    row: int
+    is_write: bool
+    arrival: int
+    payload: object = None
+
+
+class FRFCFSScheduler:
+    """Per-channel FR-FCFS queues with O(banks) selection.
+
+    Requests live in per-bank FIFO lists; a per-bank row -> count map
+    answers "does this bank have a pending hit?" in O(1).
+    """
+
+    name = "FR-FCFS"
+
+    def __init__(self, n_banks: int) -> None:
+        if n_banks <= 0:
+            raise ValueError(f"need at least one bank, got {n_banks}")
+        self._queues: List[List[DRAMRequest]] = [[] for _ in range(n_banks)]
+        self._row_counts: List[Dict[int, int]] = [{} for _ in range(n_banks)]
+        self._size = 0
+        # Round-robin start position so that equal-age requests do not
+        # starve high-numbered banks.
+        self._rr = 0
+
+    def _bank_order(self) -> List[int]:
+        n = len(self._queues)
+        return [(self._rr + i) % n for i in range(n)]
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def empty(self) -> bool:
+        return self._size == 0
+
+    def pending_for_bank(self, bank: int) -> int:
+        return len(self._queues[bank])
+
+    def enqueue(self, request: DRAMRequest) -> None:
+        """Add a request to its bank's queue."""
+        self._queues[request.bank].append(request)
+        counts = self._row_counts[request.bank]
+        counts[request.row] = counts.get(request.row, 0) + 1
+        self._size += 1
+
+    def select(self, banks: Sequence[Bank], now: int) -> Tuple[Optional[DRAMRequest], Optional[int]]:
+        """Pick the next request to issue at time *now* (and pop it).
+
+        Returns ``(request, next_ready_time)``.  If no bank with
+        pending work is ready, *request* is None and
+        *next_ready_time* is the earliest cycle at which one will be
+        (None when the queues are empty).
+        """
+        best_key: Optional[Tuple[int, int]] = None
+        best_pos: Optional[Tuple[int, int]] = None
+        next_ready: Optional[int] = None
+        for bank_idx in self._bank_order():
+            queue = self._queues[bank_idx]
+            if not queue:
+                continue
+            bank = banks[bank_idx]
+            if bank.ready_at > now:
+                if next_ready is None or bank.ready_at < next_ready:
+                    next_ready = bank.ready_at
+                continue
+            open_row = bank.open_row
+            if open_row is not None and self._row_counts[bank_idx].get(open_row, 0) > 0:
+                for i, req in enumerate(queue):
+                    if req.row == open_row:
+                        key = (0, req.arrival)
+                        pos = (bank_idx, i)
+                        break
+            else:
+                key = (1, queue[0].arrival)
+                pos = (bank_idx, 0)
+            if best_key is None or key < best_key:
+                best_key, best_pos = key, pos
+        if best_pos is None:
+            return None, next_ready
+        bank_idx, i = best_pos
+        request = self._queues[bank_idx].pop(i)
+        counts = self._row_counts[bank_idx]
+        counts[request.row] -= 1
+        if not counts[request.row]:
+            del counts[request.row]
+        self._size -= 1
+        self._rr = (bank_idx + 1) % len(self._queues)
+        return request, None
+
+
+class FCFSScheduler(FRFCFSScheduler):
+    """Strict arrival-order scheduling (ablation baseline).
+
+    Still skips banks that are not ready (otherwise a single busy bank
+    would stall the whole channel), but never reorders for row hits.
+    """
+
+    name = "FCFS"
+
+    def select(self, banks: Sequence[Bank], now: int) -> Tuple[Optional[DRAMRequest], Optional[int]]:
+        best_pos: Optional[int] = None
+        best_arrival: Optional[int] = None
+        next_ready: Optional[int] = None
+        for bank_idx in self._bank_order():
+            queue = self._queues[bank_idx]
+            if not queue:
+                continue
+            bank = banks[bank_idx]
+            if bank.ready_at > now:
+                if next_ready is None or bank.ready_at < next_ready:
+                    next_ready = bank.ready_at
+                continue
+            if best_arrival is None or queue[0].arrival < best_arrival:
+                best_arrival = queue[0].arrival
+                best_pos = bank_idx
+        if best_pos is None:
+            return None, next_ready
+        request = self._queues[best_pos].pop(0)
+        counts = self._row_counts[best_pos]
+        counts[request.row] -= 1
+        if not counts[request.row]:
+            del counts[request.row]
+        self._size -= 1
+        self._rr = (best_pos + 1) % len(self._queues)
+        return request, None

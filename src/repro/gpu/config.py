@@ -1,0 +1,107 @@
+"""GPU architecture configuration (paper Table I).
+
+The baseline models the paper's simulated GPU: 12 SMs with up to
+48 warps of 32 threads each, GTO warp scheduling, a 16 KB 4-way L1
+per SM, a 512 KB LLC split into 8 slices across the 4 memory
+controllers, and a 12x8 crossbar NoC.
+
+The simulator runs on a single clock domain; latencies below are in
+simulator cycles.  The paper's separate SM/NoC/DRAM clocks are folded
+into these latency parameters (documented in DESIGN.md), which
+preserves relative behaviour across mapping schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUConfig", "baseline_config", "config_with_sms"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """All GPU-side parameters of the simulated system."""
+
+    # SM organization.
+    n_sms: int = 12
+    max_warps_per_sm: int = 48
+    threads_per_warp: int = 32
+    max_tbs_per_sm: int = 8
+    issue_interval: int = 1  # cycles between memory instruction issues per SM
+    # Independent memory instructions a warp may have in flight before
+    # it stalls on a dependent use.  GPU warps routinely pipeline a few
+    # loads; 1 would make the whole machine latency-bound.
+    max_outstanding_per_warp: int = 4
+
+    # L1 data cache (per SM): 16 KB, 4-way, 32 sets, 128 B lines.
+    l1_bytes: int = 16 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 28
+    l1_mshrs: int = 32
+
+    # Last-level cache: 8 slices, 64 KB each (512 KB total), 8-way.
+    llc_slices: int = 8
+    llc_slice_bytes: int = 64 * 1024
+    llc_ways: int = 8
+    llc_latency: int = 40
+    llc_mshrs_per_slice: int = 64
+
+    # Interconnect (12x8 crossbar, 32 B channels).
+    line_bytes: int = 128
+    noc_base_latency: int = 12
+    noc_flit_bytes: int = 32
+    noc_control_flits: int = 1  # request / write-ack packets
+
+    # Nominal clock for converting cycles to seconds in power math.
+    clock_mhz: float = 924.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "n_sms", "max_warps_per_sm", "threads_per_warp", "max_tbs_per_sm",
+            "issue_interval", "l1_bytes", "l1_ways", "l1_latency", "l1_mshrs",
+            "llc_slices", "llc_slice_bytes", "llc_ways", "llc_latency",
+            "llc_mshrs_per_slice", "line_bytes", "noc_flit_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.l1_bytes % (self.l1_ways * self.line_bytes):
+            raise ValueError("L1 size must be divisible by ways * line size")
+        if self.llc_slice_bytes % (self.llc_ways * self.line_bytes):
+            raise ValueError("LLC slice size must be divisible by ways * line size")
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_bytes // (self.l1_ways * self.line_bytes)
+
+    @property
+    def llc_sets_per_slice(self) -> int:
+        return self.llc_slice_bytes // (self.llc_ways * self.line_bytes)
+
+    @property
+    def llc_total_bytes(self) -> int:
+        return self.llc_slices * self.llc_slice_bytes
+
+    @property
+    def data_packet_flits(self) -> int:
+        """Flits of a cache-line-carrying NoC packet."""
+        return max(1, self.line_bytes // self.noc_flit_bytes)
+
+    @property
+    def max_concurrent_tbs(self) -> int:
+        """The TB window: how many TBs can run at once across all SMs.
+
+        The paper's window-size heuristic sets the *entropy* window to
+        the number of SMs; the hardware window below bounds how many
+        TBs the TB scheduler can have in flight.
+        """
+        return self.n_sms * self.max_tbs_per_sm
+
+
+def baseline_config() -> GPUConfig:
+    """The 12-SM baseline of Table I."""
+    return GPUConfig()
+
+
+def config_with_sms(n_sms: int, base: GPUConfig = None) -> GPUConfig:
+    """Scale the SM count (Fig. 18 sensitivity), keeping per-SM resources."""
+    return replace(base or baseline_config(), n_sms=n_sms)

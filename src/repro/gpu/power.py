@@ -1,0 +1,80 @@
+"""GPUWattch-style GPU power model (paper Section V).
+
+GPUWattch decomposes GPU power into static (leakage + constant clock
+tree) and dynamic per-event energies.  We keep that structure with a
+small set of event classes that the simulator actually counts:
+executed (warp) instructions, L1 accesses, LLC accesses and NoC flits.
+Instruction counts come from the workload's APKI calibration
+(Table II), since the simulator replays memory traces rather than
+full instruction streams.
+
+The coefficients are representative magnitudes for a GPU of the
+paper's size (12 SMs @ 1.4 GHz); the reproduction depends on the
+*structure* — static power dominates, so shorter runs raise average
+power but improve energy efficiency, giving the paper's Fig. 17
+perf/Watt behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUPowerParams", "GPUPowerModel", "default_gpu_power_params"]
+
+
+@dataclass(frozen=True)
+class GPUPowerParams:
+    """Static power and per-event dynamic energies."""
+
+    static_watts: float = 45.0
+    instruction_energy_nj: float = 0.035  # per (thread-level) instruction
+    l1_access_energy_nj: float = 1.1
+    llc_access_energy_nj: float = 1.9
+    noc_flit_energy_nj: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in (
+            "static_watts", "instruction_energy_nj", "l1_access_energy_nj",
+            "llc_access_energy_nj", "noc_flit_energy_nj",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+def default_gpu_power_params() -> GPUPowerParams:
+    return GPUPowerParams()
+
+
+class GPUPowerModel:
+    """Average GPU power from event counts and elapsed time."""
+
+    def __init__(self, params: GPUPowerParams, clock_mhz: float) -> None:
+        if clock_mhz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_mhz}")
+        self._params = params
+        self._clock_mhz = clock_mhz
+
+    @property
+    def params(self) -> GPUPowerParams:
+        return self._params
+
+    def average_power(
+        self,
+        elapsed_cycles: int,
+        instructions: float,
+        l1_accesses: int,
+        llc_accesses: int,
+        noc_flits: int,
+    ) -> float:
+        """Average GPU power in watts over a run."""
+        if elapsed_cycles <= 0:
+            raise ValueError(f"elapsed_cycles must be positive, got {elapsed_cycles}")
+        seconds = elapsed_cycles / (self._clock_mhz * 1e6)
+        p = self._params
+        dynamic_joules = 1e-9 * (
+            instructions * p.instruction_energy_nj
+            + l1_accesses * p.l1_access_energy_nj
+            + llc_accesses * p.llc_access_energy_nj
+            + noc_flits * p.noc_flit_energy_nj
+        )
+        return p.static_watts + dynamic_joules / seconds

@@ -1,0 +1,269 @@
+"""Streaming Multiprocessor model.
+
+Each SM runs the warps of its assigned TBs.  A warp is a simple
+fetch-issue-stall machine over its trace: compute for ``gap`` cycles,
+issue the memory transaction, and (for loads) stall until the response
+returns.  Warps progress independently — the massive warp-level
+parallelism is what keeps hundreds of requests in flight, which is the
+regime the paper's entropy argument applies to.  GTO's relevant
+effect, that co-resident TBs are consecutive in issue order, is
+produced by the TB scheduler assigning TBs in identifier order.
+
+The SM issues at most one memory instruction per ``issue_interval``
+cycles (the coalescer port).  Loads go through the per-SM L1
+(write-through, no-write-allocate for stores; allocate-on-fill with
+MSHR merging for loads).  L1 misses become NoC transactions handled by
+the system; fills wake all merged waiters and retry MSHR-full stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Engine
+from .cache import MSHRFile, MSHROutcome, SetAssociativeCache
+from .config import GPUConfig
+from .thread_block import TBContext, WarpContext
+
+__all__ = ["SM", "MemRequest"]
+
+
+class MemRequest:
+    """An L1-miss read transaction travelling through NoC/LLC/DRAM."""
+
+    __slots__ = ("sm_id", "line", "channel", "bank", "row", "slice", "issued_at")
+
+    def __init__(
+        self, sm_id: int, line: int, channel: int, bank: int, row: int,
+        slice_id: int, issued_at: int,
+    ) -> None:
+        self.sm_id = sm_id
+        self.line = line
+        self.channel = channel
+        self.bank = bank
+        self.row = row
+        self.slice = slice_id
+        self.issued_at = issued_at
+
+    def __repr__(self) -> str:
+        return (
+            f"MemRequest(sm={self.sm_id}, line=0x{self.line:x}, ch={self.channel}, "
+            f"bank={self.bank}, row={self.row})"
+        )
+
+
+class SM:
+    """One Streaming Multiprocessor with its private L1."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        config: GPUConfig,
+        sm_id: int,
+        send_read: Callable[[MemRequest], None],
+        send_write: Callable[["SM", int, int, Callable[[], None]], None],
+    ) -> None:
+        """*send_read* forwards an L1 miss; *send_write* takes
+        ``(sm, slice_id, line, on_accepted)`` for write-through stores —
+        the callback fires when the store is accepted downstream."""
+        self._engine = engine
+        self._config = config
+        self.sm_id = sm_id
+        self._send_read = send_read
+        self._send_write = send_write
+        self.l1 = SetAssociativeCache(
+            config.l1_sets, config.l1_ways, config.line_bytes, name=f"L1[{sm_id}]"
+        )
+        self.mshr = MSHRFile(config.l1_mshrs, name=f"L1-MSHR[{sm_id}]")
+        self._port_free_at = 0
+        self._stalled: Deque[WarpContext] = deque()
+        self.active_tbs: List[TBContext] = []
+        self.on_tb_done: Optional[Callable[[TBContext], None]] = None
+        # Statistics.
+        self.instructions_issued = 0
+        self.warp_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    @property
+    def tb_count(self) -> int:
+        return len(self.active_tbs)
+
+    @property
+    def warp_count(self) -> int:
+        return sum(tb.n_warps for tb in self.active_tbs)
+
+    def can_accept(self, tb: TBContext) -> bool:
+        """Whether this SM has resources for another TB (the window bound)."""
+        return (
+            self.tb_count < self._config.max_tbs_per_sm
+            and self.warp_count + tb.n_warps <= self._config.max_warps_per_sm
+        )
+
+    def assign_tb(self, tb: TBContext) -> None:
+        """Start executing a TB on this SM."""
+        if not self.can_accept(tb):
+            raise RuntimeError(f"SM {self.sm_id} cannot accept TB {tb.tb_id}")
+        tb.sm_id = self.sm_id
+        tb.on_done = self._tb_done
+        self.active_tbs.append(tb)
+        started = False
+        for warp in tb.warps:
+            if warp.n_ops:
+                started = True
+                self._schedule_issue(warp)
+        if not started:
+            # A TB with no memory requests completes immediately.
+            self._tb_done(tb)
+
+    def _tb_done(self, tb: TBContext) -> None:
+        if tb in self.active_tbs:
+            self.active_tbs.remove(tb)
+        if self.on_tb_done is not None:
+            self.on_tb_done(tb)
+
+    # ------------------------------------------------------------------
+    # Warp issue pipeline
+    # ------------------------------------------------------------------
+    # A warp may keep up to ``max_outstanding_per_warp`` memory
+    # instructions in flight (independent loads pipeline; the warp only
+    # stalls on a dependent use).  ``warp.op`` is the next instruction
+    # to issue; ``warp.outstanding`` counts issued-but-uncompleted ops;
+    # ``warp.issue_pending`` marks that an issue event is scheduled or
+    # the warp is parked in the MSHR-full queue, so completions never
+    # double-schedule.
+
+    def _schedule_issue(self, warp: WarpContext) -> None:
+        """Arrange for the warp's next op to issue after its compute gap."""
+        warp.issue_pending = True
+        gap = int(warp.gaps[warp.op])
+        self._engine.after(gap, lambda w=warp: self._try_issue(w))
+
+    def _try_issue(self, warp: WarpContext) -> None:
+        now = self._engine.now
+        if self._port_free_at > now:
+            # Coalescer port busy: retry when it frees.
+            self.warp_stall_cycles += self._port_free_at - now
+            self._engine.at(self._port_free_at, lambda w=warp: self._try_issue(w))
+            return
+        self._port_free_at = now + self._config.issue_interval
+        self.instructions_issued += 1
+        op = warp.op
+        line = int(warp.lines[op])
+        if warp.writes[op]:
+            # Write-through store: the warp does not wait for DRAM, but
+            # the slot is held until the store is *accepted* by its LLC
+            # slice (store-queue backpressure) — a congested slice port
+            # therefore throttles write-heavy warps.
+            self.l1.write_through(line)
+            warp.outstanding += 1
+            self._send_write(
+                self, int(warp.slices[op]), line,
+                lambda w=warp: self._op_completed(w),
+            )
+            self._issued(warp)
+            return
+        if self.l1.probe(line):
+            self.l1.access(line, is_write=False)
+            warp.outstanding += 1
+            self._engine.after(
+                self._config.l1_latency, lambda w=warp: self._op_completed(w)
+            )
+            self._issued(warp)
+            return
+        self.l1.stats.count_miss(is_write=False)
+        outcome = self.mshr.allocate(line, warp)
+        if outcome == MSHROutcome.FULL:
+            # Park the warp; on_fill retries it. issue_pending stays
+            # set so completions do not schedule a duplicate issue.
+            self._stalled.append(warp)
+            return
+        warp.outstanding += 1
+        if outcome == MSHROutcome.NEW:
+            self._send_read(MemRequest(
+                sm_id=self.sm_id,
+                line=line,
+                channel=int(warp.channels[op]),
+                bank=int(warp.banks[op]),
+                row=int(warp.rows[op]),
+                slice_id=int(warp.slices[op]),
+                issued_at=now,
+            ))
+        # MERGED: the in-flight fetch wakes this warp too.
+        self._issued(warp)
+
+    def _issued(self, warp: WarpContext) -> None:
+        """Bookkeeping after an op left the issue stage."""
+        warp.advance()
+        if not warp.issued_all and warp.outstanding < self._config.max_outstanding_per_warp:
+            self._schedule_issue(warp)
+        else:
+            warp.issue_pending = False
+
+    def _op_completed(self, warp: WarpContext) -> None:
+        """A load returned / store was accepted: free the warp slot."""
+        if warp.outstanding <= 0:
+            raise RuntimeError(f"warp {warp.warp_id}: completion underflow")
+        warp.outstanding -= 1
+        if warp.done:
+            warp.tb.warp_finished()
+        elif (
+            not warp.issued_all
+            and not warp.issue_pending
+            and warp.outstanding < self._config.max_outstanding_per_warp
+        ):
+            self._schedule_issue(warp)
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def on_fill(self, line: int) -> None:
+        """A missed line arrived from the LLC: install it and wake waiters."""
+        self.l1.fill(line)
+        for warp in self.mshr.complete(line):
+            self._op_completed(warp)
+        # MSHR entries freed: retry parked warps. A retried warp may
+        # now hit (another warp's fill brought its line in).
+        while self._stalled and not self.mshr.full:
+            waiting = self._stalled.popleft()
+            self._try_issue_parked(waiting)
+
+    def _try_issue_parked(self, warp: WarpContext) -> None:
+        """Retry a warp that was parked on a full MSHR file."""
+        op = warp.op
+        line = int(warp.lines[op])
+        if self.l1.probe(line):
+            self.l1.access(line, is_write=False)
+            warp.outstanding += 1
+            self._engine.after(
+                self._config.l1_latency, lambda w=warp: self._op_completed(w)
+            )
+            self._issued(warp)
+            return
+        outcome = self.mshr.allocate(line, warp)
+        if outcome == MSHROutcome.FULL:
+            self._stalled.appendleft(warp)
+            return
+        warp.outstanding += 1
+        if outcome == MSHROutcome.NEW:
+            self._send_read(MemRequest(
+                sm_id=self.sm_id,
+                line=line,
+                channel=int(warp.channels[op]),
+                bank=int(warp.banks[op]),
+                row=int(warp.rows[op]),
+                slice_id=int(warp.slices[op]),
+                issued_at=self._engine.now,
+            ))
+        self._issued(warp)
+
+    def __repr__(self) -> str:
+        return (
+            f"SM({self.sm_id}, tbs={self.tb_count}, warps={self.warp_count}, "
+            f"issued={self.instructions_issued})"
+        )

@@ -1,0 +1,98 @@
+"""Global Thread Block scheduler.
+
+TBs are issued to SMs strictly in identifier order, as many at a time
+as SM resources allow (TB slots and warp capacity).  This produces the
+paper's concurrency *window*: at any instant the TBs in flight form a
+contiguous run of identifiers, which is exactly the assumption behind
+the window-based entropy metric.
+
+Kernels execute sequentially: the next kernel's TBs are only released
+once every TB of the current kernel has retired (paper Section III-A:
+"the TBs of different kernels do not execute concurrently").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .sm import SM
+from .thread_block import TBContext
+
+__all__ = ["TBScheduler"]
+
+
+class TBScheduler:
+    """Dispatches TBs to SMs in ID order and tracks kernel completion."""
+
+    def __init__(self, sms: List[SM], on_kernel_done: Callable[[], None]) -> None:
+        if not sms:
+            raise ValueError("need at least one SM")
+        self._sms = sms
+        self._on_kernel_done = on_kernel_done
+        self._queue: Deque[TBContext] = deque()
+        self._in_flight = 0
+        self._kernel_loaded = False
+        self.tbs_dispatched = 0
+        self.max_in_flight = 0
+        for sm in sms:
+            sm.on_tb_done = self._tb_done
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and self._in_flight == 0
+
+    def load_kernel(self, tbs: List[TBContext]) -> None:
+        """Release a kernel's TBs for dispatch (must be idle)."""
+        if not self.idle:
+            raise RuntimeError("cannot load a kernel while TBs are in flight")
+        if not tbs:
+            raise ValueError("kernel has no TBs")
+        self._queue = deque(tbs)
+        self._kernel_loaded = True
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Assign queued TBs (in order) to any SM with room.
+
+        Dispatch is strict in-order: if the next TB fits nowhere, later
+        TBs wait too — GPUs do not skip ahead in the TB stream.
+        """
+        while self._queue:
+            tb = self._queue[0]
+            sm = self._pick_sm(tb)
+            if sm is None:
+                return
+            self._queue.popleft()
+            self._in_flight += 1
+            self.tbs_dispatched += 1
+            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+            sm.assign_tb(tb)
+
+    def _pick_sm(self, tb: TBContext) -> Optional[SM]:
+        """Least-loaded SM that can accept *tb* (round-robin on ties)."""
+        best: Optional[SM] = None
+        for sm in self._sms:
+            if not sm.can_accept(tb):
+                continue
+            if best is None or sm.warp_count < best.warp_count:
+                best = sm
+        return best
+
+    def _tb_done(self, tb: TBContext) -> None:
+        self._in_flight -= 1
+        if self._in_flight < 0:
+            raise RuntimeError("TB completion underflow")
+        if self._queue:
+            self._dispatch()
+        elif self._in_flight == 0 and self._kernel_loaded:
+            self._kernel_loaded = False
+            self._on_kernel_done()

@@ -1,0 +1,128 @@
+"""Runtime warp and thread-block state.
+
+These classes wrap the immutable workload traces
+(:mod:`repro.workloads.base`) with the mutable per-run state the
+simulator needs: the per-warp program counter and the *pre-mapped*
+per-request DRAM coordinates.
+
+Mapping is applied once, vectorized, when a :class:`TBContext` is
+prepared (see :meth:`WarpContext.prepare`): every request's mapped
+line address, channel, bank, row and LLC slice are precomputed so the
+hot simulation path does no BIM math at all.  This is behaviourally
+identical to mapping at issue time because the BIM is stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..workloads.base import TBTrace, WarpTrace
+
+__all__ = ["WarpContext", "TBContext"]
+
+
+class WarpContext:
+    """One warp's execution state: trace arrays + program counter."""
+
+    __slots__ = (
+        "tb", "warp_id", "gaps", "writes", "lines", "channels", "banks",
+        "rows", "slices", "op", "n_ops", "outstanding", "issue_pending",
+    )
+
+    def __init__(
+        self,
+        tb: "TBContext",
+        warp_id: int,
+        trace: WarpTrace,
+        lines: np.ndarray,
+        channels: np.ndarray,
+        banks: np.ndarray,
+        rows: np.ndarray,
+        slices: np.ndarray,
+    ) -> None:
+        self.tb = tb
+        self.warp_id = warp_id
+        self.gaps = trace.gaps
+        self.writes = trace.writes
+        self.lines = lines
+        self.channels = channels
+        self.banks = banks
+        self.rows = rows
+        self.slices = slices
+        self.op = 0  # next op to issue
+        self.n_ops = len(trace)
+        self.outstanding = 0  # issued but not yet completed
+        self.issue_pending = False  # an issue event is scheduled
+
+    @property
+    def issued_all(self) -> bool:
+        return self.op >= self.n_ops
+
+    @property
+    def done(self) -> bool:
+        return self.issued_all and self.outstanding == 0
+
+    def advance(self) -> None:
+        """Move past the current request (it has been issued)."""
+        if self.issued_all:
+            raise RuntimeError(f"warp {self.warp_id} advanced past its last request")
+        self.op += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"WarpContext(tb={self.tb.tb_id}, warp={self.warp_id}, "
+            f"op={self.op}/{self.n_ops})"
+        )
+
+
+class TBContext:
+    """One Thread Block in flight on an SM."""
+
+    __slots__ = ("tb_id", "kernel_index", "warps", "remaining_warps", "sm_id", "on_done")
+
+    def __init__(
+        self,
+        trace: TBTrace,
+        kernel_index: int,
+        prepare: Callable[[WarpTrace], tuple],
+    ) -> None:
+        """*prepare* maps a warp trace to its precomputed coordinate arrays.
+
+        It returns ``(lines, channels, banks, rows, slices)`` — see
+        the system's trace preparation for the vectorized BIM apply.
+        """
+        self.tb_id = trace.tb_id
+        self.kernel_index = kernel_index
+        self.warps: List[WarpContext] = []
+        for warp_id, warp_trace in enumerate(trace.warps):
+            lines, channels, banks, rows, slices = prepare(warp_trace)
+            self.warps.append(
+                WarpContext(self, warp_id, warp_trace, lines, channels, banks, rows, slices)
+            )
+        self.remaining_warps = sum(1 for w in self.warps if w.n_ops) or 0
+        self.sm_id: Optional[int] = None
+        self.on_done: Optional[Callable[["TBContext"], None]] = None
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_warps == 0
+
+    def warp_finished(self) -> None:
+        """Called by the SM when one of this TB's warps retires."""
+        if self.remaining_warps <= 0:
+            raise RuntimeError(f"TB {self.tb_id} has no running warps to finish")
+        self.remaining_warps -= 1
+        if self.remaining_warps == 0 and self.on_done is not None:
+            self.on_done(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"TBContext(tb={self.tb_id}, kernel={self.kernel_index}, "
+            f"remaining_warps={self.remaining_warps})"
+        )

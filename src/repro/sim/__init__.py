@@ -1,0 +1,19 @@
+"""Discrete-event full-system simulator."""
+
+from .engine import Engine, SimulationError
+from .gpu_system import GPUSystem, simulate
+from .metrics import MeanStat, OutstandingTracker, combined_parallelism
+from .results import SimulationResult, perf_per_watt_ratio, speedup
+
+__all__ = [
+    "Engine",
+    "GPUSystem",
+    "MeanStat",
+    "OutstandingTracker",
+    "SimulationError",
+    "SimulationResult",
+    "combined_parallelism",
+    "perf_per_watt_ratio",
+    "simulate",
+    "speedup",
+]

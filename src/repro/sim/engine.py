@@ -1,0 +1,93 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event engine: callbacks scheduled at integer cycle
+timestamps, executed in time order (FIFO among same-cycle events, by
+insertion sequence).  Every component of the GPU/DRAM model shares one
+engine, so "time" is globally consistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Engine", "SimulationError"]
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling bugs (events in the past, runaway loops)."""
+
+
+class Engine:
+    """A global-clock discrete-event engine.
+
+    Examples
+    --------
+    >>> engine = Engine()
+    >>> fired = []
+    >>> engine.at(10, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [10]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._sequence = 0
+        self._queue: List[Tuple[int, int, Callback]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    def at(self, time: int, callback: Callback) -> None:
+        """Schedule *callback* at absolute cycle *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        heapq.heappush(self._queue, (int(time), self._sequence, callback))
+        self._sequence += 1
+
+    def after(self, delay: int, callback: Callback) -> None:
+        """Schedule *callback* *delay* cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.at(self._now + delay, callback)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Execute events until the queue drains (or limits hit).
+
+        Returns the final simulation time.  *until* stops the clock at
+        a cycle bound; *max_events* guards against runaway models.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._events_processed += 1
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock) "
+                    f"at cycle {self._now}"
+                )
+        return self._now

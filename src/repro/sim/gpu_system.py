@@ -1,0 +1,339 @@
+"""Full-system GPU memory-hierarchy simulator.
+
+Wires together every substrate into the paper's simulated machine
+(Table I) and runs a workload trace under a mapping scheme::
+
+    SMs (warps, L1 + MSHR)
+      -> request crossbar (SMs x LLC slices)
+        -> LLC slices (MSHR merging)
+          -> FR-FCFS memory controllers -> GDDR5 banks
+        <- response crossbar (slices x SMs)
+
+The address mapper sits conceptually right after the coalescer: all
+cache indexing, slice selection, NoC routing and DRAM decode use the
+*mapped* address.  For speed the mapping + field decode of every
+transaction is precomputed (vectorized) when TBs are prepared; this is
+exact because the BIM is stateless.
+
+Instrumentation captures everything the paper's evaluation plots:
+execution cycles, NoC packet latency (13a), LLC miss rate (13b),
+LLC/channel/bank-level parallelism (14), row-buffer hit rate (15),
+the DRAM power breakdown (16) and system power (11/17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.address_map import AddressMap
+from ..core.mapper import decode_fields
+from ..core.schemes import MappingScheme
+from ..dram.power import DRAMPowerParams
+from ..dram.scheduler import DRAMRequest
+from ..dram.system import DRAMSystem
+from ..dram.timing import DRAMTiming, gddr5_timing
+from ..gpu.config import GPUConfig, baseline_config
+from ..gpu.llc import LLCSlice
+from ..gpu.noc import Crossbar
+from ..gpu.power import GPUPowerModel, GPUPowerParams, default_gpu_power_params
+from ..gpu.sm import SM, MemRequest
+from ..gpu.tb_scheduler import TBScheduler
+from ..gpu.thread_block import TBContext
+from ..workloads.base import WarpTrace, Workload
+from .engine import Engine
+from .metrics import OutstandingTracker, combined_parallelism
+from .results import SimulationResult
+
+__all__ = ["GPUSystem", "simulate"]
+
+# Sentinel payload marking fire-and-forget writeback completions.
+_WRITEBACK = object()
+
+
+class GPUSystem:
+    """One simulated GPU + memory system, ready to run one workload."""
+
+    def __init__(
+        self,
+        scheme: MappingScheme,
+        config: Optional[GPUConfig] = None,
+        timing: Optional[DRAMTiming] = None,
+        dram_power_params: Optional[DRAMPowerParams] = None,
+        gpu_power_params: Optional[GPUPowerParams] = None,
+        dram_scheduler_factory=None,
+    ) -> None:
+        self.config = config or baseline_config()
+        self.timing = timing or gddr5_timing()
+        self.scheme = scheme
+        self.address_map = scheme.address_map
+        self.engine = Engine()
+
+        # DRAM system with completion routing back into the LLC.
+        self.dram = DRAMSystem(
+            self.engine,
+            self.timing,
+            self.address_map,
+            on_complete=self._dram_complete,
+            power_params=dram_power_params,
+            scheduler_factory=dram_scheduler_factory,
+        )
+
+        # Parallelism trackers (Fig. 14).
+        self.llc_tracker = OutstandingTracker(self.config.llc_slices, "llc")
+        self.channel_tracker = OutstandingTracker(self.timing.channels, "channel")
+        self.bank_trackers = [
+            OutstandingTracker(self.timing.banks_per_channel, f"bank[ch{c}]")
+            for c in range(self.timing.channels)
+        ]
+
+        # NoC: request crossbar SMs -> slices, response crossbar back.
+        self.request_noc = Crossbar(
+            self.engine, self.config.n_sms, self.config.llc_slices,
+            self.config.noc_base_latency, name="request-noc",
+        )
+        self.response_noc = Crossbar(
+            self.engine, self.config.llc_slices, self.config.n_sms,
+            self.config.noc_base_latency, name="response-noc",
+        )
+
+        # LLC slices.
+        self.slices: List[LLCSlice] = [
+            LLCSlice(
+                self.engine, self.config, slice_id,
+                send_response=self._send_response,
+                submit_dram_read=self._submit_dram_read,
+                submit_dram_writeback=self._submit_dram_writeback,
+            )
+            for slice_id in range(self.config.llc_slices)
+        ]
+
+        # SMs.
+        self.sms: List[SM] = [
+            SM(self.engine, self.config, sm_id,
+               send_read=self._send_read, send_write=self._send_write)
+            for sm_id in range(self.config.n_sms)
+        ]
+
+        self.scheduler = TBScheduler(self.sms, on_kernel_done=self._kernel_done)
+        self._kernels_pending: List[List[TBContext]] = []
+        self._finished = False
+
+        # Mapping/decoding cache for trace preparation.
+        self._mapper_extra_latency = scheme.extra_latency_cycles
+        self._slices_per_channel = max(1, self.config.llc_slices // self.timing.channels)
+
+    # ------------------------------------------------------------------
+    # Trace preparation: vectorized mapping + decode
+    # ------------------------------------------------------------------
+    def _prepare_warp(self, trace: WarpTrace):
+        """Precompute mapped coordinates for every request of a warp."""
+        if not len(trace):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, empty, empty
+        mapped = np.atleast_1d(self.scheme.map(trace.addresses))
+        fields = decode_fields(self.address_map, mapped)
+        line_mask = ~np.uint64(self.config.line_bytes - 1)
+        lines = (mapped & line_mask).astype(np.int64)
+        if "channel" in self.address_map:
+            channels = fields["channel"]
+        else:
+            vaults = self.address_map.field("vault").size
+            channels = fields["stack"] * vaults + fields["vault"]
+        banks = fields["bank"]
+        rows = fields["row"]
+        slices = self._slice_of(channels, banks)
+        return lines, channels, banks, rows, slices
+
+    def _slice_of(self, channels: np.ndarray, banks: np.ndarray) -> np.ndarray:
+        """LLC slice selection from mapped channel/bank coordinates.
+
+        With more slices than channels (the 8-slice / 4-channel
+        baseline) the low bank bits pick among a channel's slices;
+        with more channels than slices (3D-stacked) slices are
+        interleaved across controllers.
+        """
+        if self.config.llc_slices >= self.timing.channels:
+            return channels * self._slices_per_channel + (
+                banks % self._slices_per_channel
+            )
+        return channels % self.config.llc_slices
+
+    # ------------------------------------------------------------------
+    # Component plumbing
+    # ------------------------------------------------------------------
+    def _send_read(self, request: MemRequest) -> None:
+        """SM L1 miss -> request NoC -> LLC slice."""
+        self.llc_tracker.change(request.slice, +1, self.engine.now)
+        delay = self._mapper_extra_latency
+        target_slice = self.slices[request.slice]
+        if delay:
+            self.engine.after(delay, lambda: self.request_noc.send(
+                request.sm_id, request.slice, self.config.noc_control_flits,
+                lambda r=request: target_slice.on_read(r),
+            ))
+        else:
+            self.request_noc.send(
+                request.sm_id, request.slice, self.config.noc_control_flits,
+                lambda r=request: target_slice.on_read(r),
+            )
+
+    def _send_write(self, sm: SM, slice_id: int, line: int, on_accepted) -> None:
+        """SM write-through store -> request NoC (data packet) -> slice.
+
+        *on_accepted* fires at delivery, releasing the issuing warp
+        (store-queue backpressure through the congested port).
+        """
+        target_slice = self.slices[slice_id]
+
+        def delivered(l=line):
+            target_slice.on_write(l)
+            on_accepted()
+
+        self.request_noc.send(
+            sm.sm_id, slice_id, self.config.data_packet_flits, delivered
+        )
+
+    def _send_response(self, request: MemRequest) -> None:
+        """LLC -> response NoC -> SM fill."""
+        self.llc_tracker.change(request.slice, -1, self.engine.now)
+        sm = self.sms[request.sm_id]
+        self.response_noc.send(
+            request.slice, request.sm_id, self.config.data_packet_flits,
+            lambda r=request: sm.on_fill(r.line),
+        )
+
+    def _submit_dram_read(self, request: MemRequest) -> None:
+        channel = request.channel
+        self.channel_tracker.change(channel, +1, self.engine.now)
+        self.bank_trackers[channel].change(request.bank, +1, self.engine.now)
+        self.dram.submit(channel, DRAMRequest(
+            request_id=id(request),
+            bank=request.bank,
+            row=request.row,
+            is_write=False,
+            arrival=self.engine.now,
+            payload=request,
+        ))
+
+    def _submit_dram_writeback(self, line: int) -> None:
+        """Dirty LLC victim -> DRAM write (fire and forget)."""
+        fields = self.address_map.decode(line)
+        channel = self.dram.channel_of(fields)
+        self.channel_tracker.change(channel, +1, self.engine.now)
+        self.bank_trackers[channel].change(fields["bank"], +1, self.engine.now)
+        self.dram.submit(channel, DRAMRequest(
+            request_id=line,
+            bank=fields["bank"],
+            row=fields["row"],
+            is_write=True,
+            arrival=self.engine.now,
+            payload=_WRITEBACK,
+        ))
+
+    def _dram_complete(self, request: DRAMRequest, when: int) -> None:
+        payload = request.payload
+        if isinstance(payload, MemRequest):
+            channel = payload.channel
+            self.channel_tracker.change(channel, -1, self.engine.now)
+            self.bank_trackers[channel].change(request.bank, -1, self.engine.now)
+            self.slices[payload.slice].on_dram_fill(payload.line)
+        elif payload is _WRITEBACK:
+            fields = self.address_map.decode(request.request_id)
+            channel = self.dram.channel_of(fields)
+            self.channel_tracker.change(channel, -1, self.engine.now)
+            self.bank_trackers[channel].change(request.bank, -1, self.engine.now)
+        else:
+            raise RuntimeError(f"unexpected DRAM completion payload: {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def _kernel_done(self) -> None:
+        if self._kernels_pending:
+            tbs = self._kernels_pending.pop(0)
+            self.scheduler.load_kernel(tbs)
+        else:
+            self._finished = True
+
+    def run(self, workload: Workload, max_events: Optional[int] = None) -> SimulationResult:
+        """Simulate *workload* to completion and collect all metrics."""
+        if self._finished or self.scheduler.tbs_dispatched:
+            raise RuntimeError("GPUSystem instances are single-use; build a new one")
+        kernels = []
+        for kernel_index, kernel in enumerate(workload.kernels):
+            kernels.append([
+                TBContext(tb, kernel_index, self._prepare_warp) for tb in kernel.tbs
+            ])
+        self._kernels_pending = kernels[1:]
+        self.scheduler.load_kernel(kernels[0])
+        self.engine.run(max_events=max_events)
+        if not self._finished:
+            raise RuntimeError(
+                "simulation drained its event queue before the workload finished "
+                f"({self.scheduler.in_flight} TBs in flight)"
+            )
+        return self._collect(workload)
+
+    # ------------------------------------------------------------------
+    # Metric collection
+    # ------------------------------------------------------------------
+    def _collect(self, workload: Workload) -> SimulationResult:
+        now = max(self.engine.now, 1)
+        l1_accesses = sum(sm.l1.stats.accesses for sm in self.sms)
+        l1_misses = sum(sm.l1.stats.misses for sm in self.sms)
+        llc_accesses = sum(s.cache.stats.accesses for s in self.slices)
+        llc_misses = sum(s.cache.stats.misses for s in self.slices)
+        noc_packets = self.request_noc.stats.packets + self.response_noc.stats.packets
+        noc_total_latency = (
+            self.request_noc.stats.total_latency + self.response_noc.stats.total_latency
+        )
+        noc_flits = self.request_noc.stats.flits + self.response_noc.stats.flits
+        instructions = workload.approx_instructions
+        gpu_power_model = GPUPowerModel(
+            default_gpu_power_params(), self.config.clock_mhz
+        )
+        gpu_power = gpu_power_model.average_power(
+            now, instructions, l1_accesses, llc_accesses, noc_flits
+        )
+        return SimulationResult(
+            workload=workload.abbreviation,
+            scheme=self.scheme.name,
+            cycles=now,
+            requests=workload.n_requests,
+            l1_miss_rate=l1_misses / l1_accesses if l1_accesses else 0.0,
+            llc_miss_rate=llc_misses / llc_accesses if llc_accesses else 0.0,
+            llc_accesses=llc_accesses,
+            noc_mean_latency=noc_total_latency / noc_packets if noc_packets else 0.0,
+            llc_parallelism=self.llc_tracker.value(now),
+            channel_parallelism=self.channel_tracker.value(now),
+            bank_parallelism=combined_parallelism(self.bank_trackers, now),
+            row_hit_rate=self.dram.row_hit_rate(),
+            dram_activates=self.dram.activates,
+            dram_reads=self.dram.reads,
+            dram_writes=self.dram.writes,
+            dram_power=self.dram.power(now),
+            gpu_power=gpu_power,
+            instructions=instructions,
+            metadata={
+                "events": self.engine.events_processed,
+                "max_tbs_in_flight": self.scheduler.max_in_flight,
+                "n_sms": self.config.n_sms,
+                "dram_config": self.timing.name,
+            },
+        )
+
+
+def simulate(
+    workload: Workload,
+    scheme: MappingScheme,
+    config: Optional[GPUConfig] = None,
+    timing: Optional[DRAMTiming] = None,
+    dram_power_params: Optional[DRAMPowerParams] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a system, run one workload, return results."""
+    system = GPUSystem(
+        scheme, config=config, timing=timing, dram_power_params=dram_power_params
+    )
+    return system.run(workload)

@@ -1,0 +1,133 @@
+"""Time-integrated simulation metrics.
+
+The paper's memory-level-parallelism metrics (Fig. 14) are defined as
+"the number of outstanding requests if at least one is outstanding":
+a time average of the number of busy units, conditioned on the system
+being active.  :class:`OutstandingTracker` implements exactly that —
+it integrates the number of units with a non-zero outstanding count
+over the cycles in which at least one unit is busy.
+
+Three trackers instrument a run:
+
+* LLC-level parallelism  — units are the 8 LLC slices,
+* channel-level parallelism — units are the DRAM channels,
+* bank-level parallelism — one tracker per channel over its banks
+  ("bank-level parallelism is quantified per channel"); the reported
+  number is the busy-time-weighted mean across channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["OutstandingTracker", "MeanStat", "combined_parallelism"]
+
+
+class OutstandingTracker:
+    """Integrates the busy-unit count over active time.
+
+    ``change(unit, delta, now)`` adjusts unit occupancy; ``value(now)``
+    returns the average number of busy units over the cycles where at
+    least one unit was busy (0 if never active).
+    """
+
+    def __init__(self, n_units: int, name: str = "") -> None:
+        if n_units <= 0:
+            raise ValueError(f"need at least one unit, got {n_units}")
+        self.name = name
+        self._counts = [0] * n_units
+        self._busy_units = 0
+        self._last_time = 0
+        self._busy_unit_integral = 0  # sum of busy-unit-count * dt
+        self._active_time = 0  # cycles with >= 1 busy unit
+        self._peak = 0
+
+    @property
+    def n_units(self) -> int:
+        return len(self._counts)
+
+    @property
+    def peak(self) -> int:
+        """Maximum simultaneous busy units observed."""
+        return self._peak
+
+    def outstanding(self, unit: int) -> int:
+        return self._counts[unit]
+
+    def _advance(self, now: int) -> None:
+        dt = now - self._last_time
+        if dt < 0:
+            raise ValueError(f"time went backwards: {self._last_time} -> {now}")
+        if dt and self._busy_units:
+            self._busy_unit_integral += self._busy_units * dt
+            self._active_time += dt
+        self._last_time = now
+
+    def change(self, unit: int, delta: int, now: int) -> None:
+        """Adjust unit *unit*'s outstanding count by *delta* at time *now*."""
+        self._advance(now)
+        before = self._counts[unit]
+        after = before + delta
+        if after < 0:
+            raise ValueError(
+                f"{self.name or 'tracker'}: unit {unit} outstanding underflow"
+            )
+        self._counts[unit] = after
+        if before == 0 and after > 0:
+            self._busy_units += 1
+            self._peak = max(self._peak, self._busy_units)
+        elif before > 0 and after == 0:
+            self._busy_units -= 1
+
+    def value(self, now: int) -> float:
+        """Average busy units over active time, up to *now*."""
+        self._advance(now)
+        if not self._active_time:
+            return 0.0
+        return self._busy_unit_integral / self._active_time
+
+    def active_fraction(self, now: int) -> float:
+        """Fraction of elapsed time with at least one busy unit."""
+        self._advance(now)
+        return self._active_time / now if now else 0.0
+
+    @property
+    def active_time(self) -> int:
+        return self._active_time
+
+    @property
+    def busy_unit_integral(self) -> int:
+        return self._busy_unit_integral
+
+
+def combined_parallelism(trackers: Sequence[OutstandingTracker], now: int) -> float:
+    """Busy-time-weighted mean across trackers (per-channel bank MLP)."""
+    total_integral = 0
+    total_active = 0
+    for tracker in trackers:
+        tracker._advance(now)
+        total_integral += tracker.busy_unit_integral
+        total_active += tracker.active_time
+    if not total_active:
+        return 0.0
+    return total_integral / total_active
+
+
+class MeanStat:
+    """Streaming mean/max of a scalar (latency accounting)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0

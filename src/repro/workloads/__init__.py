@@ -1,0 +1,55 @@
+"""Workload substrate: trace model, pattern generators and the Table II suite."""
+
+from .base import KernelTrace, TBTrace, Workload, WarpTrace
+from .io import load_workload, save_workload
+from .patterns import (
+    TXN_BYTES,
+    align,
+    butterfly_pass,
+    column_walk,
+    make_tb,
+    pack_warps,
+    random_lines,
+    row_segment,
+    strided_gather,
+    tile_rows,
+)
+from .suite import (
+    ALL_BENCHMARKS,
+    BENCHMARK_BUILDERS,
+    NON_VALLEY_BENCHMARKS,
+    TABLE2,
+    VALLEY_BENCHMARKS,
+    build_suite,
+    build_workload,
+    dwt2d_kernel1,
+    srad2_kernel1,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARK_BUILDERS",
+    "KernelTrace",
+    "NON_VALLEY_BENCHMARKS",
+    "TABLE2",
+    "TBTrace",
+    "TXN_BYTES",
+    "VALLEY_BENCHMARKS",
+    "WarpTrace",
+    "Workload",
+    "align",
+    "build_suite",
+    "build_workload",
+    "butterfly_pass",
+    "column_walk",
+    "dwt2d_kernel1",
+    "load_workload",
+    "make_tb",
+    "pack_warps",
+    "save_workload",
+    "random_lines",
+    "row_segment",
+    "srad2_kernel1",
+    "strided_gather",
+    "tile_rows",
+]

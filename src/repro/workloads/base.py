@@ -1,0 +1,202 @@
+"""Workload trace model.
+
+The simulator is trace-driven: a workload is a sequence of kernels,
+a kernel a sequence of Thread Blocks (TBs), a TB a set of warps, and
+a warp an ordered stream of *coalesced* memory transactions with
+per-transaction compute gaps (cycles of non-memory work preceding the
+request).  This mirrors the paper's methodology: entropy is computed
+from the per-TB request addresses, and the TB scheduler issues TBs in
+identifier order.
+
+Address convention: transaction addresses are 128-byte aligned input
+(pre-mapping) physical addresses in the 30-bit space of the Hynix map
+(or the 32-bit stacked space).  Compute intensity is captured by the
+gaps plus each workload's ``instructions_per_request``, which is
+calibrated against the paper's Table II APKI column
+(instructions_per_request = 1000 / APKI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["WarpTrace", "TBTrace", "KernelTrace", "Workload"]
+
+
+@dataclass(frozen=True)
+class WarpTrace:
+    """One warp's ordered stream of coalesced transactions.
+
+    ``gaps[i]`` cycles of compute precede request *i*; ``writes[i]``
+    marks stores (fire-and-forget in the pipeline model).
+    """
+
+    gaps: np.ndarray
+    addresses: np.ndarray
+    writes: np.ndarray
+
+    def __post_init__(self) -> None:
+        gaps = np.ascontiguousarray(self.gaps, dtype=np.int64)
+        addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        writes = np.ascontiguousarray(self.writes, dtype=bool)
+        if not (len(gaps) == len(addresses) == len(writes)):
+            raise ValueError(
+                f"warp trace arrays disagree on length: "
+                f"{len(gaps)}/{len(addresses)}/{len(writes)}"
+            )
+        if len(gaps) and gaps.min() < 0:
+            raise ValueError("compute gaps must be non-negative")
+        object.__setattr__(self, "gaps", gaps)
+        object.__setattr__(self, "addresses", addresses)
+        object.__setattr__(self, "writes", writes)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.addresses)
+
+    @classmethod
+    def from_addresses(
+        cls, addresses, gap: int = 0, writes=None
+    ) -> "WarpTrace":
+        """Build a trace with a uniform compute gap before each request."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        n = len(addresses)
+        if writes is None:
+            writes = np.zeros(n, dtype=bool)
+        return cls(
+            gaps=np.full(n, gap, dtype=np.int64),
+            addresses=addresses,
+            writes=np.asarray(writes, dtype=bool),
+        )
+
+
+@dataclass(frozen=True)
+class TBTrace:
+    """One Thread Block: its identifier and warp streams."""
+
+    tb_id: int
+    warps: Tuple[WarpTrace, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "warps", tuple(self.warps))
+        if not self.warps:
+            raise ValueError(f"TB {self.tb_id} has no warps")
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(len(w) for w in self.warps)
+
+    def addresses(self) -> np.ndarray:
+        """All request addresses of the TB (entropy analysis input)."""
+        parts = [w.addresses for w in self.warps if len(w)]
+        if not parts:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(parts)
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """One kernel launch: TBs in identifier (issue) order."""
+
+    name: str
+    tbs: Tuple[TBTrace, ...]
+
+    def __post_init__(self) -> None:
+        tbs = tuple(self.tbs)
+        if not tbs:
+            raise ValueError(f"kernel {self.name!r} has no TBs")
+        ids = [tb.tb_id for tb in tbs]
+        if ids != sorted(ids) or len(set(ids)) != len(ids):
+            raise ValueError(f"kernel {self.name!r} TB ids must be unique and ascending")
+        object.__setattr__(self, "tbs", tbs)
+
+    @property
+    def n_tbs(self) -> int:
+        return len(self.tbs)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(tb.n_requests for tb in self.tbs)
+
+    def tb_address_arrays(self) -> List[np.ndarray]:
+        """Per-TB address arrays in TB order (window-entropy input)."""
+        return [tb.addresses() for tb in self.tbs]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete GPU-compute application trace.
+
+    Attributes
+    ----------
+    name / abbreviation:
+        Full and short benchmark names (Table II).
+    kernels:
+        Kernel traces in launch order; kernels execute back-to-back
+        with a barrier between them (TBs of different kernels never
+        co-execute, paper Section III-A).
+    instructions_per_request:
+        Dynamic instructions per memory request — 1000/APKI from
+        Table II.  Drives the GPU dynamic power estimate.
+    expected_valley:
+        Whether the paper classifies the benchmark as having an
+        entropy valley overlapping the channel/bank bits (the top ten
+        rows of Table II) — used by validation tests.
+    """
+
+    name: str
+    abbreviation: str
+    kernels: Tuple[KernelTrace, ...]
+    instructions_per_request: float = 100.0
+    expected_valley: bool = True
+    description: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        if not self.kernels:
+            raise ValueError(f"workload {self.name!r} has no kernels")
+        if self.instructions_per_request <= 0:
+            raise ValueError("instructions_per_request must be positive")
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def n_tbs(self) -> int:
+        return sum(k.n_tbs for k in self.kernels)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(k.n_requests for k in self.kernels)
+
+    @property
+    def approx_instructions(self) -> float:
+        """Estimated dynamic instruction count (for APKI / power math)."""
+        return self.n_requests * self.instructions_per_request
+
+    @property
+    def apki(self) -> float:
+        """Memory accesses per kilo-instruction implied by the trace."""
+        return 1000.0 / self.instructions_per_request
+
+    def entropy_kernel_inputs(self) -> List[Tuple[List[np.ndarray], int]]:
+        """Kernel inputs for application_entropy_profile: (TB arrays, weight)."""
+        return [(k.tb_address_arrays(), k.n_requests) for k in self.kernels]
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.abbreviation!r}, kernels={self.n_kernels}, "
+            f"tbs={self.n_tbs}, requests={self.n_requests})"
+        )

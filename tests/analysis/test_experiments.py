@@ -1,0 +1,80 @@
+"""Tests for the experiment runner (small scales to stay fast)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, arithmetic_mean, harmonic_mean
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.25)
+
+
+class TestMeans:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_harmonic_below_arithmetic(self):
+        values = [1.0, 2.0, 5.0]
+        assert harmonic_mean(values) < arithmetic_mean(values)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestRunnerCaching:
+    def test_run_is_memoized(self, runner):
+        a = runner.run("SP", "BASE")
+        before = runner.cached_runs()
+        b = runner.run("SP", "BASE")
+        assert a is b
+        assert runner.cached_runs() == before
+
+    def test_workload_cached(self, runner):
+        assert runner.workload("SP") is runner.workload("SP")
+
+    def test_entropy_profile_cached(self, runner):
+        assert runner.entropy_profile("SP") is runner.entropy_profile("SP")
+
+
+class TestRunnerViews:
+    def test_speedups_normalized_to_base(self, runner):
+        ups = runner.speedups(["SP"], ["BASE", "PAE"])
+        assert ups[("SP", "BASE")] == pytest.approx(1.0)
+        assert ups[("SP", "PAE")] > 1.0
+
+    def test_perf_per_watt_base_is_one(self, runner):
+        ppw = runner.perf_per_watt(["SP"], ["BASE"])
+        assert ppw[("SP", "BASE")] == pytest.approx(1.0)
+
+    def test_dram_power_ratio_base(self, runner):
+        assert runner.dram_power_ratio("BASE", ["SP"]) == pytest.approx(1.0)
+
+    def test_rmp_uses_suite_profile(self, runner):
+        scheme = runner.scheme("RMP")
+        profile = runner.suite_average_entropy()
+        expected = sorted(
+            sorted(range(6, 30), key=lambda b: (-profile[b], b))[:6]
+        )
+        assert list(scheme.metadata["source_bits"]) == expected
+
+    def test_bim_seed_changes_scheme(self, runner):
+        assert runner.scheme("PAE", seed=0).bim != runner.scheme("PAE", seed=1).bim
+
+    def test_mapped_entropy_profile_raises_parallel_entropy(self, runner):
+        """Fig. 10's point: PAE lifts channel/bank-bit entropy."""
+        base = runner.entropy_profile("MT")
+        mapped = runner.mapped_entropy_profile("MT", "PAE", seed=0)
+        assert mapped.parallel_bit_entropy() > base.parallel_bit_entropy()
+
+    def test_unknown_memory_kind(self, runner):
+        with pytest.raises(ValueError):
+            runner.address_map("weird")

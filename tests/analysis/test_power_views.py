@@ -1,0 +1,47 @@
+"""Unit tests for system power comparison views."""
+
+import pytest
+
+from repro.analysis.power import compare_to_base, normalized_views
+from repro.dram.power import DRAMPowerBreakdown
+from repro.sim.results import SimulationResult
+
+
+def result(scheme, cycles, activates, dram_total=20.0, gpu=50.0):
+    share = dram_total / 5
+    return SimulationResult(
+        workload="MT", scheme=scheme, cycles=cycles, requests=100,
+        l1_miss_rate=1.0, llc_miss_rate=0.5, llc_accesses=100,
+        noc_mean_latency=10.0, llc_parallelism=1.0, channel_parallelism=1.0,
+        bank_parallelism=1.0, row_hit_rate=0.5, dram_activates=activates,
+        dram_reads=50, dram_writes=10,
+        dram_power=DRAMPowerBreakdown(share, share, share, share, share),
+        gpu_power=gpu, instructions=1000.0,
+    )
+
+
+class TestCompareToBase:
+    def test_ratios(self):
+        base = result("BASE", cycles=2000, activates=100)
+        pae = result("PAE", cycles=1000, activates=50, dram_total=22.0)
+        cmp = compare_to_base(pae, base)
+        assert cmp.speedup == pytest.approx(2.0)
+        assert cmp.activate_ratio == pytest.approx(0.5)
+        assert cmp.dram_power_ratio == pytest.approx(1.1)
+        assert cmp.system_power_ratio == pytest.approx(72 / 70)
+        assert "2.00x" in str(cmp)
+
+    def test_zero_base_activates(self):
+        base = result("BASE", 1000, activates=0)
+        other = result("PAE", 1000, activates=10)
+        assert compare_to_base(other, base).activate_ratio == 1.0
+
+
+def test_normalized_views_sweep():
+    results = {
+        ("MT", "BASE"): result("BASE", 2000, 100),
+        ("MT", "PAE"): result("PAE", 1000, 60),
+    }
+    views = normalized_views(results, ["MT"], ["BASE", "PAE"])
+    assert views[("MT", "BASE")].speedup == pytest.approx(1.0)
+    assert views[("MT", "PAE")].speedup == pytest.approx(2.0)

@@ -1,0 +1,47 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.analysis.report import banner, format_grouped_bars, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["MT", 1.5], ["LU", 10.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_floats_formatted(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestSeries:
+    def test_points_rendered(self):
+        out = format_series("speedup", [(12, 1.5), (24, 1.6)])
+        assert out.startswith("speedup:")
+        assert "12=1.500" in out and "24=1.600" in out
+
+
+class TestGroupedBars:
+    def test_grid(self):
+        values = {("MT", "BASE"): 1.0, ("MT", "PAE"): 1.5,
+                  ("LU", "BASE"): 1.0, ("LU", "PAE"): 4.0}
+        out = format_grouped_bars(["MT", "LU"], ["BASE", "PAE"], values)
+        assert "4.000" in out
+        assert out.splitlines()[0].split()[0] == "value"
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(KeyError):
+            format_grouped_bars(["MT"], ["BASE"], {})
+
+
+def test_banner():
+    out = banner("Table II")
+    assert "Table II" in out
+    assert out.count("=") >= 100

@@ -1,0 +1,166 @@
+"""Unit tests for address maps and fields."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address_map import (
+    AddressField,
+    AddressMap,
+    AddressMapError,
+    hynix_gddr5_map,
+    stacked_memory_map,
+    toy_map,
+)
+
+
+class TestAddressField:
+    def test_extract_insert_roundtrip(self):
+        field = AddressField("bank", (10, 11, 12, 13))
+        addr = field.insert(0, 0b1010)
+        assert field.extract(addr) == 0b1010
+
+    def test_insert_preserves_other_bits(self):
+        field = AddressField("channel", (8, 9))
+        addr = field.insert(0xFFFFFFFF, 0)
+        assert addr == 0xFFFFFFFF & ~0x300
+
+    def test_non_contiguous_field(self):
+        # Hynix "col" has low bits at 6-7 and high bits at 14-17.
+        field = AddressField("col", (6, 7, 14, 15, 16, 17))
+        addr = field.insert(0, 0b110101)
+        assert field.extract(addr) == 0b110101
+        assert addr == (0b01 << 6) | (0b1101 << 14)
+
+    def test_out_of_range_value(self):
+        field = AddressField("channel", (8, 9))
+        with pytest.raises(AddressMapError):
+            field.insert(0, 4)
+
+    def test_duplicate_bits_rejected(self):
+        with pytest.raises(AddressMapError):
+            AddressField("x", (3, 3))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(AddressMapError):
+            AddressField("x", (-1,))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AddressMapError):
+            AddressField("", (0,))
+
+    def test_size(self):
+        assert AddressField("bank", (10, 11, 12, 13)).size == 16
+
+
+class TestAddressMapConstruction:
+    def test_gap_rejected(self):
+        with pytest.raises(AddressMapError, match="not covered"):
+            AddressMap(3, [AddressField("a", (0, 2))])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(AddressMapError, match="claimed by both"):
+            AddressMap(2, [AddressField("a", (0, 1)), AddressField("b", (1,))])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(AddressMapError, match="duplicate"):
+            AddressMap(2, [AddressField("a", (0,)), AddressField("a", (1,))])
+
+    def test_bit_beyond_width_rejected(self):
+        with pytest.raises(AddressMapError):
+            AddressMap(2, [AddressField("a", (0, 1, 2))])
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(AddressMapError, match="no field"):
+            toy_map().field("vault")
+
+
+class TestHynixMap:
+    """The paper's Fig. 4 layout, anchored by the text of Section IV-B."""
+
+    def setup_method(self):
+        self.amap = hynix_gddr5_map()
+
+    def test_width_and_capacity(self):
+        assert self.amap.width == 30
+        assert self.amap.capacity == 1 << 30  # 1 GB
+
+    def test_channel_bits_are_8_9(self):
+        assert self.amap.field("channel").bits == (8, 9)
+
+    def test_bank_bits_are_10_13(self):
+        assert self.amap.field("bank").bits == (10, 11, 12, 13)
+
+    def test_row_bits_are_18_29(self):
+        assert self.amap.field("row").bits == tuple(range(18, 30))
+
+    def test_geometry(self):
+        sizes = self.amap.sizes()
+        assert sizes["channel"] == 4
+        assert sizes["bank"] == 16
+        assert sizes["row"] == 4096
+        assert sizes["col"] == 64
+        assert sizes["block"] == 64
+
+    def test_parallel_bits(self):
+        assert self.amap.parallel_bits() == tuple(range(8, 14))
+
+    def test_page_bits_exclude_columns(self):
+        page = set(self.amap.page_bits())
+        assert page == set(range(8, 14)) | set(range(18, 30))
+
+    def test_non_block_bits(self):
+        assert self.amap.non_block_bits() == tuple(range(6, 30))
+
+    def test_decode_encode_roundtrip(self):
+        addr = 0x2ABC_DEF1 % (1 << 30)
+        fields = self.amap.decode(addr)
+        assert self.amap.encode(**fields) == addr
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(AddressMapError):
+            self.amap.decode(1 << 30)
+
+    def test_consecutive_blocks_same_row(self):
+        """Addresses 64 B apart within 256 B share everything but col."""
+        a = self.amap.decode(0)
+        b = self.amap.decode(64)
+        assert a["row"] == b["row"]
+        assert a["bank"] == b["bank"]
+        assert a["channel"] == b["channel"]
+        assert a["col"] != b["col"]
+
+
+class TestStackedMap:
+    def setup_method(self):
+        self.amap = stacked_memory_map()
+
+    def test_geometry(self):
+        sizes = self.amap.sizes()
+        assert sizes["stack"] == 4
+        assert sizes["vault"] == 16
+        assert sizes["bank"] == 16
+
+    def test_capacity_consistent(self):
+        assert self.amap.width == 32
+
+    def test_parallel_bits_count(self):
+        # 2 stack + 4 vault + 4 bank = 10 randomized bits (paper Fig. 18).
+        assert len(self.amap.parallel_bits()) == 10
+
+    def test_page_bits_include_row(self):
+        assert set(self.amap.field("row").bits) <= set(self.amap.page_bits())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+def test_hynix_roundtrip_property(addr):
+    amap = hynix_gddr5_map()
+    assert amap.encode(**amap.decode(addr)) == addr
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_stacked_roundtrip_property(addr):
+    amap = stacked_memory_map()
+    assert amap.encode(**amap.decode(addr)) == addr

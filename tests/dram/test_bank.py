@@ -1,0 +1,96 @@
+"""Unit tests for the bank state machine, against hand-computed timing."""
+
+import pytest
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.timing import gddr5_timing
+
+T = gddr5_timing()  # CL=12, tRCD=12, tRP=12, tRAS=28
+
+
+@pytest.fixture
+def bank():
+    return Bank(T)
+
+
+class TestClassification:
+    def test_initially_miss(self, bank):
+        assert bank.pending_kind(5) == AccessKind.MISS
+
+    def test_hit_after_activate(self, bank):
+        bank.access(5, 0)
+        assert bank.pending_kind(5) == AccessKind.HIT
+
+    def test_conflict_on_other_row(self, bank):
+        bank.access(5, 0)
+        assert bank.pending_kind(6) == AccessKind.CONFLICT
+
+
+class TestTiming:
+    def test_miss_pays_trcd(self, bank):
+        read_at, kind = bank.access(7, 100)
+        assert kind == AccessKind.MISS
+        assert read_at == 100 + T.t_rcd
+
+    def test_hit_is_immediate(self, bank):
+        bank.access(7, 0)
+        read_at, kind = bank.access(7, 50)
+        assert kind == AccessKind.HIT
+        assert read_at == 50
+
+    def test_conflict_full_sequence(self, bank):
+        bank.access(7, 0)  # activate at 0
+        # Conflict at t=100: tRAS long since elapsed, so
+        # pre at 100, act at 112, read at 124.
+        read_at, kind = bank.access(8, 100)
+        assert kind == AccessKind.CONFLICT
+        assert read_at == 100 + T.t_rp + T.t_rcd
+
+    def test_conflict_waits_for_tras(self, bank):
+        bank.access(7, 0)  # activate at 0
+        # Conflict at t=5: precharge must wait until activate+tRAS=28.
+        read_at, kind = bank.access(8, 5)
+        assert read_at == T.t_ras + T.t_rp + T.t_rcd
+
+    def test_earliest_activate_delays_miss(self, bank):
+        read_at, _ = bank.access(7, 0, earliest_activate=40)
+        assert read_at == 40 + T.t_rcd
+
+    def test_earliest_activate_delays_conflict(self, bank):
+        bank.access(7, 0)
+        read_at, _ = bank.access(8, 100, earliest_activate=500)
+        assert read_at == 500 + T.t_rcd
+
+    def test_ready_at_respected(self, bank):
+        bank.occupy_until(200)
+        read_at, _ = bank.access(7, 0)
+        assert read_at == 200 + T.t_rcd
+
+    def test_occupy_until_never_regresses(self, bank):
+        bank.occupy_until(100)
+        bank.occupy_until(50)
+        assert bank.ready_at == 100
+
+
+class TestCounters:
+    def test_categories_counted(self, bank):
+        bank.access(1, 0)       # miss
+        bank.access(1, 100)     # hit
+        bank.access(2, 200)     # conflict
+        assert bank.row_misses == 1
+        assert bank.row_hits == 1
+        assert bank.row_conflicts == 1
+        assert bank.accesses == 3
+
+    def test_activates_and_precharges(self, bank):
+        bank.access(1, 0)
+        bank.access(2, 100)
+        bank.access(2, 200)
+        assert bank.activates == 2
+        assert bank.precharges == 1
+
+    def test_hit_rate(self, bank):
+        assert bank.row_hit_rate() == 0.0
+        bank.access(1, 0)
+        bank.access(1, 100)
+        assert bank.row_hit_rate() == pytest.approx(0.5)

@@ -1,0 +1,198 @@
+"""Unit tests for the set-associative cache and MSHR file."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cache import MSHRFile, MSHROutcome, SetAssociativeCache
+
+
+def cache(sets=4, ways=2, line=128, hash_sets=False):
+    return SetAssociativeCache(sets, ways, line, hash_sets=hash_sets)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        hit, _ = c.access(0x1000)
+        assert not hit
+        hit, _ = c.access(0x1000)
+        assert hit
+
+    def test_same_line_different_offsets_hit(self):
+        c = cache()
+        c.access(0x1000)
+        hit, _ = c.access(0x1000 + 127)
+        assert hit
+
+    def test_probe_has_no_side_effects(self):
+        c = cache()
+        assert not c.probe(0x1000)
+        assert c.stats.accesses == 0
+
+    def test_line_address(self):
+        c = cache()
+        assert c.line_address(0x1234) == 0x1200
+
+    def test_capacity(self):
+        assert cache(4, 2, 128).capacity_bytes == 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2, 128)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 2, 100)  # not a power of two
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        c = cache(sets=1, ways=2)
+        c.access(0x0000)
+        c.access(0x1000)
+        c.access(0x0000)        # refresh line 0
+        c.access(0x2000)        # evicts 0x1000 (least recently used)
+        assert c.probe(0x0000)
+        assert not c.probe(0x1000)
+
+    def test_dirty_victim_reported(self):
+        c = cache(sets=1, ways=1)
+        c.access(0x0000, is_write=True)
+        hit, writeback = c.access(0x1000)
+        assert not hit
+        assert writeback == 0x0000
+        assert c.stats.writebacks == 1
+
+    def test_clean_victim_not_reported(self):
+        c = cache(sets=1, ways=1)
+        c.access(0x0000)
+        _, writeback = c.access(0x1000)
+        assert writeback is None
+        assert c.stats.evictions == 1
+
+
+class TestFillAndInvalidate:
+    def test_fill_counts_no_access(self):
+        c = cache()
+        c.fill(0x1000)
+        assert c.stats.accesses == 0
+        assert c.probe(0x1000)
+
+    def test_fill_merges_dirty_flag(self):
+        c = cache(sets=1, ways=1)
+        c.fill(0x0000, dirty=True)
+        c.fill(0x0000, dirty=False)  # must stay dirty
+        _, writeback = c.access(0x1000)
+        assert writeback == 0x0000
+
+    def test_fill_evicts_dirty_victim(self):
+        c = cache(sets=1, ways=1)
+        c.access(0x0000, is_write=True)
+        victim = c.fill(0x1000)
+        assert victim == 0x0000
+
+    def test_invalidate(self):
+        c = cache()
+        c.access(0x1000)
+        assert c.invalidate(0x1000)
+        assert not c.probe(0x1000)
+        assert not c.invalidate(0x1000)
+
+
+class TestWriteThrough:
+    def test_hit_refreshes_but_stays_clean(self):
+        c = cache(sets=1, ways=2)
+        c.access(0x0000)
+        c.access(0x1000)
+        assert c.write_through(0x0000)   # refresh LRU, stays clean
+        _, wb = c.access(0x2000)         # evicts 0x1000
+        assert wb is None
+        assert c.probe(0x0000)
+
+    def test_miss_does_not_allocate(self):
+        c = cache()
+        assert not c.write_through(0x1000)
+        assert not c.probe(0x1000)
+        assert c.stats.write_misses == 1
+
+
+class TestStats:
+    def test_miss_rate(self):
+        c = cache()
+        c.access(0x0000)
+        c.access(0x0000)
+        assert c.stats.miss_rate() == pytest.approx(0.5)
+
+    def test_count_miss_helper(self):
+        c = cache()
+        c.stats.count_miss(is_write=False)
+        c.stats.count_miss(is_write=True)
+        assert c.stats.read_misses == 1 and c.stats.write_misses == 1
+
+    def test_empty_rates(self):
+        assert cache().stats.miss_rate() == 0.0
+        assert cache().stats.read_miss_rate() == 0.0
+
+
+class TestSetHashing:
+    def test_strided_lines_spread_with_hashing(self):
+        """Page-strided lines must not collapse onto one set."""
+        linear = cache(sets=64, ways=8, hash_sets=False)
+        hashed = cache(sets=64, ways=8, hash_sets=True)
+        stride = 64 * 128  # one full wrap of the linear index
+        sets_linear = {linear._set_index(i * stride) for i in range(32)}
+        sets_hashed = {hashed._set_index(i * stride) for i in range(32)}
+        assert len(sets_linear) == 1
+        assert len(sets_hashed) > 8
+
+    def test_hashing_preserves_hit_detection(self):
+        c = cache(sets=64, ways=8, hash_sets=True)
+        c.access(0xABC00)
+        assert c.probe(0xABC00)
+
+
+class TestMSHR:
+    def test_new_then_merge(self):
+        m = MSHRFile(2)
+        assert m.allocate(0x100, "a") == MSHROutcome.NEW
+        assert m.allocate(0x100, "b") == MSHROutcome.MERGED
+        assert m.in_flight == 1
+        assert m.complete(0x100) == ["a", "b"]
+        assert m.in_flight == 0
+
+    def test_full(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, "a")
+        assert m.allocate(0x200, "b") == MSHROutcome.FULL
+        assert m.stalls == 1
+        # Merging to an existing line still works when full.
+        assert m.allocate(0x100, "c") == MSHROutcome.MERGED
+
+    def test_complete_unknown_line(self):
+        with pytest.raises(KeyError):
+            MSHRFile(2).complete(0x500)
+
+    def test_outstanding_lines(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, "a")
+        m.allocate(0x200, "b")
+        assert set(m.outstanding_lines()) == {0x100, 0x200}
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50), st.booleans()),
+    min_size=1, max_size=200,
+))
+def test_cache_invariants(accesses):
+    """Properties: residency never exceeds capacity; counters balance."""
+    c = SetAssociativeCache(4, 2, 128, hash_sets=True)
+    for line_no, is_write in accesses:
+        c.access(line_no * 128, is_write)
+    assert c.resident_lines() <= 8
+    assert c.stats.accesses == len(accesses)
+    assert c.stats.misses + c.stats.read_hits + c.stats.write_hits == len(accesses)
+    assert c.stats.writebacks <= c.stats.evictions

@@ -1,0 +1,85 @@
+"""Unit tests for warp-level memory coalescing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.coalescer import coalesce_instruction_stream, coalesce_warp, coalescing_degree
+
+
+class TestCoalesceWarp:
+    def test_fully_coalesced_warp(self):
+        """32 consecutive 4-byte accesses fit one 128 B transaction."""
+        addrs = 0x1000 + 4 * np.arange(32)
+        txns = coalesce_warp(addrs)
+        assert list(txns) == [0x1000]
+
+    def test_misaligned_warp_needs_two(self):
+        addrs = 0x1040 + 4 * np.arange(32)
+        assert len(coalesce_warp(addrs)) == 2
+
+    def test_fully_divergent_warp(self):
+        addrs = 0x0 + 4096 * np.arange(32)
+        assert len(coalesce_warp(addrs)) == 32
+
+    def test_first_touch_order_preserved(self):
+        addrs = np.array([0x2000, 0x0, 0x2000, 0x1000])
+        assert list(coalesce_warp(addrs)) == [0x2000, 0x0, 0x1000]
+
+    def test_empty(self):
+        assert coalesce_warp(np.array([], dtype=np.uint64)).size == 0
+
+    def test_custom_transaction_size(self):
+        addrs = np.array([0, 32, 64, 96])
+        assert len(coalesce_warp(addrs, transaction_bytes=32)) == 4
+        assert len(coalesce_warp(addrs, transaction_bytes=128)) == 1
+
+    def test_invalid_transaction_size(self):
+        with pytest.raises(ValueError):
+            coalesce_warp([0], transaction_bytes=100)
+
+
+class TestStream:
+    def test_owner_tracking(self):
+        txns, owners = coalesce_instruction_stream([
+            0x1000 + 4 * np.arange(32),     # 1 txn from instr 0
+            0x0 + 4096 * np.arange(4),      # 4 txns from instr 1
+        ])
+        assert len(txns) == 5
+        assert list(owners) == [0, 1, 1, 1, 1]
+
+    def test_empty_stream(self):
+        txns, owners = coalesce_instruction_stream([])
+        assert txns.size == 0 and owners.size == 0
+
+    def test_empty_instruction_skipped(self):
+        txns, owners = coalesce_instruction_stream([
+            np.array([], dtype=np.uint64), np.array([0x1000]),
+        ])
+        assert list(owners) == [1]
+
+
+class TestDegree:
+    def test_perfect(self):
+        assert coalescing_degree(0x1000 + 4 * np.arange(32)) == pytest.approx(32.0)
+
+    def test_divergent(self):
+        assert coalescing_degree(4096 * np.arange(32)) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coalescing_degree([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=32))
+def test_coalescing_properties(addrs):
+    """Alignment, uniqueness, and count bounds hold for any warp."""
+    txns = coalesce_warp(np.asarray(addrs, dtype=np.uint64))
+    assert (txns % 128 == 0).all()
+    assert len(set(int(t) for t in txns)) == len(txns)
+    assert 1 <= len(txns) <= len(addrs)
+    # Every thread address is covered by some transaction.
+    lines = {a // 128 * 128 for a in addrs}
+    assert lines == {int(t) for t in txns}

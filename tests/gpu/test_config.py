@@ -1,0 +1,45 @@
+"""Unit tests for GPU configuration."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig, baseline_config, config_with_sms
+
+
+class TestBaseline:
+    def test_table1_values(self):
+        cfg = baseline_config()
+        assert cfg.n_sms == 12
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.threads_per_warp == 32
+        assert cfg.llc_slices == 8
+        assert cfg.llc_total_bytes == 512 * 1024
+
+    def test_l1_geometry(self):
+        cfg = baseline_config()
+        # 16 KB, 4-way, 128 B lines -> 32 sets (Table I).
+        assert cfg.l1_sets == 32
+
+    def test_llc_geometry(self):
+        cfg = baseline_config()
+        # 64 KB slice, 8-way, 128 B lines -> 64 sets (Table I).
+        assert cfg.llc_sets_per_slice == 64
+
+    def test_data_packet_flits(self):
+        assert baseline_config().data_packet_flits == 4  # 128 B / 32 B
+
+    def test_window(self):
+        cfg = baseline_config()
+        assert cfg.max_concurrent_tbs == cfg.n_sms * cfg.max_tbs_per_sm
+
+
+class TestScaling:
+    def test_config_with_sms(self):
+        cfg = config_with_sms(48)
+        assert cfg.n_sms == 48
+        assert cfg.l1_bytes == baseline_config().l1_bytes
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_sms=0)
+        with pytest.raises(ValueError):
+            GPUConfig(l1_bytes=1000)  # not divisible by ways * line

@@ -1,0 +1,85 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestOrdering:
+    def test_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.at(20, lambda: fired.append("b"))
+        engine.at(10, lambda: fired.append("a"))
+        engine.run()
+        assert fired == ["a", "b"]
+        assert engine.now == 20
+
+    def test_fifo_within_cycle(self):
+        engine = Engine()
+        fired = []
+        engine.at(5, lambda: fired.append(1))
+        engine.at(5, lambda: fired.append(2))
+        engine.at(5, lambda: fired.append(3))
+        engine.run()
+        assert fired == [1, 2, 3]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.at(10, lambda: engine.after(5, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [15]
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.after(1, lambda: chain(n + 1))
+
+        engine.at(0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestLimits:
+    def test_until_stops_clock(self):
+        engine = Engine()
+        fired = []
+        engine.at(10, lambda: fired.append(10))
+        engine.at(100, lambda: fired.append(100))
+        engine.run(until=50)
+        assert fired == [10]
+        assert engine.now == 50
+        assert engine.pending == 1
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.after(1, forever)
+
+        engine.at(0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.at(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1, lambda: None)
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for t in range(5):
+            engine.at(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5

@@ -1,0 +1,100 @@
+"""Unit tests for time-integrated parallelism metrics."""
+
+import pytest
+
+from repro.sim.metrics import MeanStat, OutstandingTracker, combined_parallelism
+
+
+class TestOutstandingTracker:
+    def test_single_unit_always_busy(self):
+        t = OutstandingTracker(4)
+        t.change(0, +1, 0)
+        assert t.value(100) == pytest.approx(1.0)
+
+    def test_two_units_half_overlap(self):
+        """Unit 0 busy [0,100); unit 1 busy [50,100): average = 1.5."""
+        t = OutstandingTracker(4)
+        t.change(0, +1, 0)
+        t.change(1, +1, 50)
+        assert t.value(100) == pytest.approx(1.5)
+
+    def test_conditioning_on_active_time(self):
+        """Idle gaps don't dilute the average (paper's definition)."""
+        t = OutstandingTracker(4)
+        t.change(0, +1, 0)
+        t.change(0, -1, 10)
+        # idle 10..90
+        t.change(0, +1, 90)
+        assert t.value(100) == pytest.approx(1.0)
+        assert t.active_fraction(100) == pytest.approx(0.2)
+
+    def test_multiple_outstanding_on_one_unit_counts_once(self):
+        """The metric counts busy *units*, not queued requests."""
+        t = OutstandingTracker(4)
+        t.change(0, +1, 0)
+        t.change(0, +1, 0)
+        t.change(0, -1, 50)
+        assert t.value(100) == pytest.approx(1.0)
+
+    def test_peak(self):
+        t = OutstandingTracker(4)
+        t.change(0, +1, 0)
+        t.change(1, +1, 1)
+        t.change(2, +1, 2)
+        t.change(1, -1, 3)
+        assert t.peak == 3
+
+    def test_underflow_rejected(self):
+        t = OutstandingTracker(2)
+        with pytest.raises(ValueError):
+            t.change(0, -1, 0)
+
+    def test_time_regression_rejected(self):
+        t = OutstandingTracker(2)
+        t.change(0, +1, 50)
+        with pytest.raises(ValueError):
+            t.change(0, +1, 10)
+
+    def test_never_active(self):
+        assert OutstandingTracker(2).value(100) == 0.0
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ValueError):
+            OutstandingTracker(0)
+
+
+class TestCombined:
+    def test_busy_time_weighted_mean(self):
+        """Per-channel bank parallelism combines by busy time."""
+        a = OutstandingTracker(4)  # 2 units busy for 100 cycles
+        a.change(0, +1, 0)
+        a.change(1, +1, 0)
+        a.change(0, -1, 100)
+        a.change(1, -1, 100)
+        b = OutstandingTracker(4)  # 4 units busy for 100 cycles
+        for u in range(4):
+            b.change(u, +1, 0)
+        for u in range(4):
+            b.change(u, -1, 100)
+        assert combined_parallelism([a, b], 100) == pytest.approx(3.0)
+
+    def test_idle_channel_ignored(self):
+        a = OutstandingTracker(4)
+        a.change(0, +1, 0)
+        idle = OutstandingTracker(4)
+        assert combined_parallelism([a, idle], 100) == pytest.approx(1.0)
+
+    def test_all_idle(self):
+        assert combined_parallelism([OutstandingTracker(2)], 50) == 0.0
+
+
+class TestMeanStat:
+    def test_mean_and_max(self):
+        s = MeanStat()
+        for v in (10, 20, 30):
+            s.record(v)
+        assert s.mean == pytest.approx(20.0)
+        assert s.max_value == 30
+
+    def test_empty_mean(self):
+        assert MeanStat().mean == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSchemes:
+    def test_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BASE", "PM", "RMP", "PAE", "FAE", "ALL"):
+            assert name in out
+
+
+class TestMap:
+    def test_hex_address(self, capsys):
+        assert main(["map", "0x12345680", "--scheme", "PAE"]) == 0
+        out = capsys.readouterr().out
+        assert "0x12345680" in out
+        assert "mapped" in out
+
+    def test_identity_scheme_passthrough(self, capsys):
+        assert main(["map", "4096", "--scheme", "BASE"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0x00001000") == 2
+
+    def test_out_of_range(self, capsys):
+        assert main(["map", str(1 << 40)]) == 2
+
+
+class TestEntropy:
+    def test_profile_rendered(self, capsys):
+        assert main(["entropy", "SP", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "channel/bank" in out
+        assert "valleys:" in out
+
+
+class TestSimulate:
+    def test_simulate_small(self, capsys):
+        assert main([
+            "simulate", "SP", "--schemes", "PAE", "--scale", "0.25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BASE" in out and "PAE" in out
+        assert "speedup" in out
+
+
+class TestExport:
+    def test_export_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "pae.json"
+        assert main(["export-scheme", "PAE", "--seed", "3", "-o", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["name"] == "PAE"
+        assert len(data["rows"]) == 30
+
+        from repro.core import hynix_gddr5_map
+        from repro.core.serialize import load_scheme
+
+        scheme = load_scheme(path, hynix_gddr5_map())
+        assert scheme.name == "PAE"
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])

@@ -1,0 +1,92 @@
+"""Unit tests for the workload trace model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import KernelTrace, TBTrace, Workload, WarpTrace
+
+
+def warp(n=4, gap=2):
+    return WarpTrace.from_addresses(np.arange(n, dtype=np.uint64) * 128, gap=gap)
+
+
+class TestWarpTrace:
+    def test_from_addresses_defaults(self):
+        w = warp(3, gap=7)
+        assert len(w) == 3
+        assert (w.gaps == 7).all()
+        assert not w.writes.any()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WarpTrace(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.uint64),
+                      np.zeros(3, dtype=bool))
+
+    def test_negative_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            WarpTrace(np.array([-1]), np.array([0], dtype=np.uint64),
+                      np.array([False]))
+
+
+class TestTBTrace:
+    def test_addresses_concatenated(self):
+        tb = TBTrace(0, (warp(2), warp(3)))
+        assert tb.n_requests == 5
+        assert tb.addresses().shape == (5,)
+
+    def test_no_warps_rejected(self):
+        with pytest.raises(ValueError):
+            TBTrace(0, ())
+
+    def test_empty_warp_addresses(self):
+        empty = WarpTrace.from_addresses(np.array([], dtype=np.uint64))
+        tb = TBTrace(0, (empty,))
+        assert tb.addresses().size == 0
+
+
+class TestKernelTrace:
+    def test_tb_ids_must_ascend(self):
+        with pytest.raises(ValueError):
+            KernelTrace("k", (TBTrace(1, (warp(),)), TBTrace(0, (warp(),))))
+
+    def test_tb_ids_must_be_unique(self):
+        with pytest.raises(ValueError):
+            KernelTrace("k", (TBTrace(0, (warp(),)), TBTrace(0, (warp(),))))
+
+    def test_counts(self):
+        k = KernelTrace("k", (TBTrace(0, (warp(2),)), TBTrace(1, (warp(3),))))
+        assert k.n_tbs == 2
+        assert k.n_requests == 5
+        assert len(k.tb_address_arrays()) == 2
+
+    def test_no_tbs_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace("k", ())
+
+
+class TestWorkload:
+    def _workload(self, ipr=100.0):
+        k = KernelTrace("k", (TBTrace(0, (warp(4),)),))
+        return Workload("Test", "T", (k,), instructions_per_request=ipr)
+
+    def test_apki_inverse_of_ipr(self):
+        wl = self._workload(ipr=200.0)
+        assert wl.apki == pytest.approx(5.0)
+
+    def test_approx_instructions(self):
+        wl = self._workload(ipr=100.0)
+        assert wl.approx_instructions == pytest.approx(400.0)
+
+    def test_entropy_kernel_inputs(self):
+        inputs = self._workload().entropy_kernel_inputs()
+        assert len(inputs) == 1
+        tb_arrays, weight = inputs[0]
+        assert weight == 4
+
+    def test_no_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("x", "X", ())
+
+    def test_bad_ipr_rejected(self):
+        with pytest.raises(ValueError):
+            self._workload(ipr=0)
