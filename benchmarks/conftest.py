@@ -10,6 +10,11 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — trace-size multiplier for the main sweep
   (default 1.0, the scale EXPERIMENTS.md quotes).
+* ``REPRO_BENCH_CACHE`` — directory for the on-disk result cache;
+  when set, re-running the bench suite serves every unchanged run
+  from disk (see :mod:`repro.runner`).
+* ``REPRO_BENCH_WORKERS`` — worker processes for sweep execution
+  (default 1 = serial in-process).
 """
 
 import os
@@ -22,6 +27,8 @@ from repro.analysis.experiments import ExperimentRunner
 RESULTS_DIR = Path(__file__).parent / "results"
 MAIN_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 SENSITIVITY_SCALE = 0.5 * MAIN_SCALE
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 # Fig. 18/19 sweep a representative slice of the valley suite to keep
 # the sensitivity matrices tractable.
 SENSITIVITY_BENCHMARKS = ("MT", "LU", "SC", "SRAD2", "SP")
@@ -29,12 +36,16 @@ SENSITIVITY_BENCHMARKS = ("MT", "LU", "SC", "SRAD2", "SP")
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(scale=MAIN_SCALE)
+    return ExperimentRunner(
+        scale=MAIN_SCALE, cache_dir=BENCH_CACHE, workers=BENCH_WORKERS
+    )
 
 
 @pytest.fixture(scope="session")
 def sensitivity_runner() -> ExperimentRunner:
-    return ExperimentRunner(scale=SENSITIVITY_SCALE)
+    return ExperimentRunner(
+        scale=SENSITIVITY_SCALE, cache_dir=BENCH_CACHE, workers=BENCH_WORKERS
+    )
 
 
 @pytest.fixture(scope="session")

@@ -5,36 +5,34 @@ underlying sweep: the 16 benchmarks under the six mapping schemes on
 the baseline configuration, plus sensitivity variants (SM count,
 3D-stacked memory, alternative BIM seeds).  This module provides:
 
-* :class:`ExperimentRunner` — builds schemes/configs, runs simulations
-  and memoizes results so independent bench files can share one sweep,
+* :class:`ExperimentRunner` — the bench harness facade.  Simulation
+  execution, parallelism and the on-disk result cache live in
+  :mod:`repro.runner`; this class adds the entropy-profile helpers the
+  figure scripts need and keeps a per-instance memo so independent
+  bench files share one sweep,
 * the canonical sweep helpers each bench/table is generated from.
 
 All runs are deterministic: workloads and BIM draws are seeded, and
-the simulator itself has no randomness.
+the simulator itself has no randomness.  Pass ``cache_dir`` to persist
+results across processes, and ``workers`` to fan cache misses out
+across a process pool (see :mod:`repro.runner` for the guarantees).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.address_map import AddressMap, hynix_gddr5_map
+from ..core.address_map import AddressMap
 from ..core.entropy import EntropyProfile, application_entropy_profile
-from ..core.schemes import SCHEME_NAMES, MappingScheme, build_scheme
-from ..dram.stacked import stacked_memory_config
-from ..dram.timing import DRAMTiming, gddr5_timing
-from ..gpu.config import GPUConfig, baseline_config, config_with_sms
-from ..sim.gpu_system import GPUSystem
+from ..core.schemes import SCHEME_NAMES, MappingScheme
+from ..runner.config import RunConfig
+from ..runner.sweep import SweepRunner
+from ..runner.worker import RunContext
 from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
 from ..workloads.base import Workload
-from ..workloads.suite import (
-    ALL_BENCHMARKS,
-    NON_VALLEY_BENCHMARKS,
-    VALLEY_BENCHMARKS,
-    build_workload,
-)
+from ..workloads.suite import VALLEY_BENCHMARKS
 
 __all__ = [
     "ExperimentRunner",
@@ -65,49 +63,40 @@ def arithmetic_mean(values: Sequence[float]) -> float:
     return float(arr.mean())
 
 
-@dataclass(frozen=True)
-class _RunKey:
-    benchmark: str
-    scheme: str
-    seed: int
-    n_sms: int
-    memory: str  # "gddr5" | "stacked"
-    scale: float
-
-
 class ExperimentRunner:
     """Builds and memoizes simulation runs for the bench harness.
 
     One instance is typically shared per process (the benchmarks use a
-    module-level singleton) so that e.g. Fig. 12 and Fig. 15 reuse the
-    same simulations.
+    session-scoped fixture) so that e.g. Fig. 12 and Fig. 15 reuse the
+    same simulations.  Internally it delegates execution to a
+    :class:`~repro.runner.sweep.SweepRunner` — give it ``cache_dir``
+    and/or ``workers`` to get disk caching and parallel sweeps.
     """
 
-    def __init__(self, scale: float = DEFAULT_SCALE, window: int = 12) -> None:
+    def __init__(
+        self,
+        scale: float = DEFAULT_SCALE,
+        window: int = 12,
+        cache_dir=None,
+        workers: Optional[int] = None,
+    ) -> None:
         self.scale = scale
         self.window = window
-        self._results: Dict[_RunKey, SimulationResult] = {}
-        self._workloads: Dict[Tuple[str, float], Workload] = {}
-        self._profiles: Dict[Tuple[str, int], EntropyProfile] = {}
-        self._gddr5_map = hynix_gddr5_map()
-        self._stacked = stacked_memory_config()
-        self._suite_profile: Optional[np.ndarray] = None
+        self._context = RunContext()
+        self._sweeper = SweepRunner(
+            workers=workers, cache_dir=cache_dir, context=self._context
+        )
 
     # ------------------------------------------------------------------
     # Building blocks
     # ------------------------------------------------------------------
     def workload(self, benchmark: str, scale: Optional[float] = None) -> Workload:
-        key = (benchmark, scale if scale is not None else self.scale)
-        if key not in self._workloads:
-            self._workloads[key] = build_workload(benchmark, scale=key[1])
-        return self._workloads[key]
+        return self._context.workload(
+            benchmark.upper(), scale if scale is not None else self.scale
+        )
 
     def address_map(self, memory: str = "gddr5") -> AddressMap:
-        if memory == "gddr5":
-            return self._gddr5_map
-        if memory == "stacked":
-            return self._stacked.address_map
-        raise ValueError(f"unknown memory kind {memory!r}")
+        return self._context.address_map(memory)
 
     def suite_average_entropy(self, memory: str = "gddr5") -> np.ndarray:
         """Per-bit average window entropy across the full suite.
@@ -116,36 +105,21 @@ class ExperimentRunner:
         the entropy of all our GPU-compute benchmarks and aggregate
         this into a global entropy profile" (Section IV-B).
         """
-        if self._suite_profile is None:
-            self._suite_profile = {}
-        if memory not in self._suite_profile:
-            from ..core.entropy import average_entropy_profile
-
-            profiles = [self.entropy_profile(b, memory=memory) for b in ALL_BENCHMARKS]
-            self._suite_profile[memory] = average_entropy_profile(profiles)
-        return self._suite_profile[memory]
+        return self._context.suite_average_entropy(memory, self.scale, self.window)
 
     def scheme(self, name: str, seed: int = 0, memory: str = "gddr5") -> MappingScheme:
-        entropy_by_bit = None
-        if name.upper() == "RMP":
-            entropy_by_bit = self.suite_average_entropy(memory)
-        return build_scheme(
-            name, self.address_map(memory), seed=seed, entropy_by_bit=entropy_by_bit
-        )
+        return self._context.scheme(name, seed, memory, self.scale, self.window)
 
     def entropy_profile(
         self, benchmark: str, window: Optional[int] = None, memory: str = "gddr5"
     ) -> EntropyProfile:
-        """Window-based entropy profile of a benchmark (BASE addresses)."""
+        """Window-based entropy profile of a benchmark (BASE addresses).
+
+        Served from the run context's memo, which RMP construction
+        shares — a bench session computes each profile once.
+        """
         w = window if window is not None else self.window
-        key = (benchmark, w, memory)
-        if key not in self._profiles:
-            workload = self.workload(benchmark)
-            self._profiles[key] = application_entropy_profile(
-                workload.entropy_kernel_inputs(), self.address_map(memory), w,
-                label=benchmark,
-            )
-        return self._profiles[key]
+        return self._context.entropy_profile(benchmark, memory, self.scale, w)
 
     def mapped_entropy_profile(
         self, benchmark: str, scheme_name: str, seed: int = 0,
@@ -160,12 +134,35 @@ class ExperimentRunner:
             mapped = [np.atleast_1d(scheme.map(a)) for a in tb_arrays]
             kernels.append((mapped, weight))
         return application_entropy_profile(
-            kernels, self._gddr5_map, w, label=f"{benchmark}/{scheme_name}"
+            kernels, self.address_map("gddr5"), w,
+            label=f"{benchmark}/{scheme_name}",
         )
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+    def _config(
+        self,
+        benchmark: str,
+        scheme_name: str,
+        seed: int = 0,
+        n_sms: int = 12,
+        memory: str = "gddr5",
+        scale: Optional[float] = None,
+    ) -> RunConfig:
+        return RunConfig(
+            benchmark=benchmark,
+            scheme=scheme_name,
+            seed=seed,
+            n_sms=n_sms,
+            memory=memory,
+            scale=scale if scale is not None else self.scale,
+            window=self.window,
+            # RMP's suite profile is always built at the runner's scale,
+            # even when one run overrides the trace scale.
+            profile_scale=self.scale,
+        )
+
     def run(
         self,
         benchmark: str,
@@ -176,25 +173,9 @@ class ExperimentRunner:
         scale: Optional[float] = None,
     ) -> SimulationResult:
         """Run (memoized) one simulation."""
-        actual_scale = scale if scale is not None else self.scale
-        key = _RunKey(benchmark, scheme_name, seed, n_sms, memory, actual_scale)
-        if key in self._results:
-            return self._results[key]
-        workload = self.workload(benchmark, actual_scale)
-        scheme = self.scheme(scheme_name, seed=seed, memory=memory)
-        if memory == "gddr5":
-            timing: DRAMTiming = gddr5_timing()
-            power_params = None
-        else:
-            timing = self._stacked.timing
-            power_params = self._stacked.power_params
-        config = config_with_sms(n_sms)
-        system = GPUSystem(
-            scheme, config=config, timing=timing, dram_power_params=power_params
+        return self._sweeper.run_one(
+            self._config(benchmark, scheme_name, seed, n_sms, memory, scale)
         )
-        result = system.run(workload)
-        self._results[key] = result
-        return result
 
     def sweep(
         self,
@@ -202,12 +183,18 @@ class ExperimentRunner:
         schemes: Iterable[str] = SCHEME_NAMES,
         **kwargs,
     ) -> Dict[Tuple[str, str], SimulationResult]:
-        """Run a benchmark x scheme matrix (memoized)."""
-        out: Dict[Tuple[str, str], SimulationResult] = {}
-        for benchmark in benchmarks:
-            for scheme_name in schemes:
-                out[(benchmark, scheme_name)] = self.run(benchmark, scheme_name, **kwargs)
-        return out
+        """Run a benchmark x scheme matrix (memoized, batched).
+
+        The whole matrix is handed to the sweep runner as one batch, so
+        with ``workers > 1`` the misses simulate in parallel.
+        """
+        pairs = [
+            (benchmark, scheme_name)
+            for benchmark in benchmarks
+            for scheme_name in schemes
+        ]
+        configs = [self._config(b, s, **kwargs) for b, s in pairs]
+        return dict(zip(pairs, self._sweeper.run_many(configs)))
 
     # ------------------------------------------------------------------
     # Derived views
@@ -220,7 +207,10 @@ class ExperimentRunner:
     ) -> Dict[Tuple[str, str], float]:
         """Speedup over BASE per (benchmark, scheme) — Fig. 12/20."""
         benchmarks = list(benchmarks)
-        results = self.sweep(benchmarks, list(set(list(schemes) + ["BASE"])), **kwargs)
+        schemes = list(schemes)
+        results = self.sweep(
+            benchmarks, sorted(set(schemes + ["BASE"])), **kwargs
+        )
         return {
             (b, s): speedup(results[(b, s)], results[(b, "BASE")])
             for b in benchmarks
@@ -244,7 +234,10 @@ class ExperimentRunner:
     ) -> Dict[Tuple[str, str], float]:
         """Perf/Watt normalized to BASE — Fig. 17."""
         benchmarks = list(benchmarks)
-        results = self.sweep(benchmarks, list(set(list(schemes) + ["BASE"])), **kwargs)
+        schemes = list(schemes)
+        results = self.sweep(
+            benchmarks, sorted(set(schemes + ["BASE"])), **kwargs
+        )
         return {
             (b, s): perf_per_watt_ratio(results[(b, s)], results[(b, "BASE")])
             for b in benchmarks
@@ -263,4 +256,10 @@ class ExperimentRunner:
         return arithmetic_mean(ratios)
 
     def cached_runs(self) -> int:
-        return len(self._results)
+        """Distinct simulation results memoized in this process."""
+        return self._sweeper.cached_runs()
+
+    @property
+    def sweep_stats(self):
+        """Hit/miss accounting of the underlying sweep runner."""
+        return self._sweeper.stats

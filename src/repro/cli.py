@@ -11,6 +11,11 @@ Commands
 ``simulate``
     Run one benchmark under one or more schemes and print the paper's
     headline metrics.
+``sweep``
+    Run a (benchmark x scheme x seed x SM-count x memory) grid through
+    the parallel sweep runner and emit a machine-readable JSON report.
+    Results are cached on disk, so re-runs are near-instant; the JSON
+    is byte-identical regardless of worker count or cache state.
 ``export-scheme``
     Serialize a scheme's BIM to JSON (for RTL generators / configs).
 
@@ -22,6 +27,7 @@ Examples
     python -m repro map 0x12345680 --scheme PAE
     python -m repro entropy MT
     python -m repro simulate SRAD2 --schemes BASE,PM,PAE --scale 0.5
+    python -m repro sweep --benchmarks MT,SP --schemes BASE,PAE -o report.json
     python -m repro export-scheme PAE --seed 1 -o pae.json
 """
 
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -37,9 +44,16 @@ from .analysis.report import format_table
 from .core import SCHEME_NAMES, build_scheme, find_entropy_valleys, hynix_gddr5_map
 from .core.entropy import application_entropy_profile
 from .core.serialize import dump_scheme
+from .runner import (
+    SweepGrid,
+    SweepRunner,
+    default_workers,
+    render_report,
+    sweep_report,
+)
 from .sim.gpu_system import simulate
 from .sim.results import perf_per_watt_ratio, speedup
-from .workloads.suite import ALL_BENCHMARKS, build_workload
+from .workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS, build_workload
 
 __all__ = ["main"]
 
@@ -121,6 +135,59 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_names(text: str) -> List[str]:
+    """Split a comma list, honoring the 'valley'/'all' suite shorthands."""
+    cleaned = text.strip().lower()
+    if cleaned == "valley":
+        return list(VALLEY_BENCHMARKS)
+    if cleaned == "all":
+        return list(ALL_BENCHMARKS)
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        grid = SweepGrid(
+            benchmarks=tuple(_parse_names(args.benchmarks)),
+            schemes=tuple(s.upper() for s in args.schemes.split(",") if s.strip()),
+            seeds=tuple(int(s) for s in args.seeds.split(",")),
+            n_sms=tuple(int(n) for n in args.n_sms.split(",")),
+            memories=tuple(m.strip() for m in args.memories.split(",")),
+            scale=args.scale,
+            window=args.window,
+        )
+        grid.configs()  # validates every axis value before any work
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers > 0 else default_workers()
+    runner = SweepRunner(
+        workers=workers,
+        cache_dir=args.cache_dir if args.cache_dir else None,
+    )
+    started = time.perf_counter()
+    report = sweep_report(grid, runner)
+    elapsed = time.perf_counter() - started
+    text = render_report(report)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    # Accounting goes to stderr only: the JSON must stay byte-identical
+    # across worker counts and cache states.
+    stats = runner.stats
+    print(
+        f"{stats.requested} runs: {stats.cache_hits} cache hits, "
+        f"{stats.memory_hits} memo hits, {stats.executed} executed "
+        f"({elapsed:.2f}s, {workers} worker(s))",
+        file=sys.stderr,
+    )
+    if args.output != "-":
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_export_scheme(args) -> int:
     amap = hynix_gddr5_map()
     scheme = build_scheme(args.scheme, amap, seed=args.seed)
@@ -159,6 +226,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep", help="run a benchmark x scheme grid, emit a JSON report"
+    )
+    p.add_argument(
+        "--benchmarks", default="valley",
+        help="comma-separated names, or 'valley' / 'all' (default: valley)",
+    )
+    p.add_argument(
+        "--schemes", default=",".join(SCHEME_NAMES),
+        help="comma-separated scheme names (BASE is always added)",
+    )
+    p.add_argument("--seeds", default="0", help="comma-separated BIM seeds")
+    p.add_argument("--n-sms", default="12", help="comma-separated SM counts")
+    p.add_argument(
+        "--memories", default="gddr5", help="comma-separated: gddr5,stacked"
+    )
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 0 = one per CPU (default: 1)",
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="on-disk result cache; pass '' to disable (default: .repro-cache)",
+    )
+    p.add_argument(
+        "-o", "--output", default="-",
+        help="report path, or - for stdout (default: -)",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("export-scheme", help="serialize a scheme to JSON")
     p.add_argument("scheme", choices=SCHEME_NAMES)

@@ -80,7 +80,10 @@ def entropy_of_bvr_window(bvr_values: Sequence[float]) -> float:
     if v == 1:
         return 0.0
     p = counts / values.size
-    return float(-(p * np.log2(p)).sum() / np.log2(v))
+    # min() guards the [0, 1] contract against float rounding: the
+    # normalized entropy can exceed 1 by an ulp when all probabilities
+    # are equal.
+    return float(min(1.0, -(p * np.log2(p)).sum() / np.log2(v)))
 
 
 def window_entropy(bvrs: np.ndarray, window: int) -> np.ndarray:
@@ -130,7 +133,9 @@ def window_entropy(bvrs: np.ndarray, window: int) -> np.ndarray:
         v_in_window = (counts > 0).sum(axis=1)
         h = -plogp.sum(axis=1)
         norm = np.where(v_in_window > 1, np.log2(np.maximum(v_in_window, 2)), 1.0)
-        h = np.where(v_in_window > 1, h / norm, 0.0)
+        # minimum() guards the normalized [0, 1] contract against float
+        # rounding (uniform windows can land an ulp above 1).
+        h = np.where(v_in_window > 1, np.minimum(h / norm, 1.0), 0.0)
         result[bit] = h.sum() / n_windows
     return result
 

@@ -13,8 +13,9 @@ count and XOR-tree depth of the scheme's matrix.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -22,6 +23,41 @@ from .address_map import AddressMap
 from .schemes import MappingScheme
 
 __all__ = ["AddressMapper", "decode_fields", "HardwareCost"]
+
+# Per-map decode plans: field name -> [(src_shift, mask, dst_shift)].
+# Keyed weakly so long-lived processes (sweep workers) do not pin maps.
+_DECODE_PLANS: "weakref.WeakKeyDictionary[AddressMap, List[Tuple[str, List[Tuple[np.uint64, np.uint64, np.uint64]]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _decode_plan(address_map: AddressMap):
+    """Decompose every field into maximal contiguous bit runs.
+
+    A field whose physical bits are consecutive (which covers almost
+    every run of every real map) then decodes with a single
+    shift-and-mask instead of one numpy pass per bit.
+    """
+    plan = _DECODE_PLANS.get(address_map)
+    if plan is not None:
+        return plan
+    plan = []
+    for name in address_map.field_names:
+        bits = address_map.field(name).bits
+        runs: List[Tuple[np.uint64, np.uint64, np.uint64]] = []
+        start = 0
+        for i in range(1, len(bits) + 1):
+            if i == len(bits) or bits[i] != bits[i - 1] + 1:
+                length = i - start
+                runs.append((
+                    np.uint64(bits[start]),           # source shift
+                    np.uint64((1 << length) - 1),     # mask after shift
+                    np.uint64(start),                 # destination shift
+                ))
+                start = i
+        plan.append((name, runs))
+    _DECODE_PLANS[address_map] = plan
+    return plan
 
 
 def decode_fields(address_map: AddressMap, addresses: np.ndarray) -> Dict[str, np.ndarray]:
@@ -32,11 +68,14 @@ def decode_fields(address_map: AddressMap, addresses: np.ndarray) -> Dict[str, n
     """
     addr = np.asarray(addresses, dtype=np.uint64)
     out: Dict[str, np.ndarray] = {}
-    for name in address_map.field_names:
-        field = address_map.field(name)
-        value = np.zeros(addr.shape, dtype=np.uint64)
-        for i, bit in enumerate(field.bits):
-            value |= ((addr >> np.uint64(bit)) & np.uint64(1)) << np.uint64(i)
+    for name, runs in _decode_plan(address_map):
+        if not runs:  # zero-width field: its value is always 0
+            out[name] = np.zeros(addr.shape, dtype=np.int64)
+            continue
+        src_shift, mask, dst_shift = runs[0]
+        value = ((addr >> src_shift) & mask) << dst_shift
+        for src_shift, mask, dst_shift in runs[1:]:
+            value |= ((addr >> src_shift) & mask) << dst_shift
         out[name] = value.astype(np.int64)
     return out
 

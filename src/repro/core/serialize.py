@@ -24,6 +24,7 @@ corrupted file can never produce a colliding mapping.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Optional
 
@@ -40,10 +41,35 @@ __all__ = [
     "scheme_from_dict",
     "dump_scheme",
     "load_scheme",
+    "canonical_json",
+    "stable_hash",
 ]
 
 _FORMAT_BIM = "bim"
 _FORMAT_SCHEME = "mapping_scheme"
+
+
+def canonical_json(data) -> str:
+    """Deterministic JSON encoding of *data*.
+
+    Keys are sorted, separators fixed and non-ASCII escaped, so two
+    equal values always produce byte-identical text — across processes,
+    platforms and Python versions.  This is the encoding the on-disk
+    result cache keys and records are built from.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def stable_hash(data) -> str:
+    """Content hash of a JSON-serializable value, as a hex string.
+
+    SHA-256 over :func:`canonical_json`; stable across interpreter
+    invocations (unlike the builtin, randomized ``hash``) and therefore
+    safe to use as an on-disk cache key.
+    """
+    return hashlib.sha256(canonical_json(data).encode("ascii")).hexdigest()
 
 
 def _rows_to_hex(matrix: np.ndarray) -> list:

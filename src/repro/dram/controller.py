@@ -3,7 +3,9 @@
 Owns the channel's banks, its FR-FCFS request queues and the shared
 data bus, and drives them through the discrete-event engine:
 
-* requests arrive via :meth:`MemoryController.submit`,
+* requests arrive via :meth:`MemoryController.submit`, or in same-cycle
+  batches via :meth:`MemoryController.submit_many`; all arrivals of one
+  cycle are scheduled by a single FR-FCFS pass,
 * whenever a bank or the bus frees up the controller re-runs the
   scheduler and issues every request that can start,
 * the completion callback fires when the request's data burst finishes
@@ -24,7 +26,7 @@ bound command pipelining.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
@@ -78,14 +80,26 @@ class MemoryController:
     # ------------------------------------------------------------------
     def submit(self, request: DRAMRequest) -> None:
         """Queue a request (bank/row already decoded by the caller)."""
-        if not 0 <= request.bank < self._timing.banks_per_channel:
-            raise ValueError(
-                f"bank {request.bank} out of range for channel with "
-                f"{self._timing.banks_per_channel} banks"
-            )
-        self.requests_seen += 1
-        self._scheduler.enqueue(request)
-        self._pump()
+        self.submit_many((request,))
+
+    def submit_many(self, requests: Sequence[DRAMRequest]) -> None:
+        """Queue a batch of requests arriving this cycle.
+
+        Scheduling is deferred to a single same-cycle wake event rather
+        than pumped per request: all arrivals of one cycle are enqueued
+        first and then considered by *one* FR-FCFS pass, so a burst of
+        N submits costs one scheduling sweep instead of N.
+        """
+        n_banks = self._timing.banks_per_channel
+        for request in requests:
+            if not 0 <= request.bank < n_banks:
+                raise ValueError(
+                    f"bank {request.bank} out of range for channel with "
+                    f"{n_banks} banks"
+                )
+        self.requests_seen += len(requests)
+        self._scheduler.enqueue_many(requests)
+        self._wake_at(self._engine.now)
 
     @property
     def pending(self) -> int:

@@ -81,6 +81,20 @@ class DRAMPowerBreakdown:
             "total": self.total,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "DRAMPowerBreakdown":
+        """Rebuild a breakdown from :meth:`as_dict` output.
+
+        ``total`` is derived, so it is ignored on input.
+        """
+        return cls(
+            background=float(data["background"]),
+            refresh=float(data["refresh"]),
+            activate=float(data["activate"]),
+            read=float(data["read"]),
+            write=float(data["write"]),
+        )
+
     def __str__(self) -> str:
         parts = ", ".join(
             f"{k}={v:.2f}W" for k, v in self.as_dict().items() if k != "total"

@@ -78,6 +78,21 @@ class FRFCFSScheduler:
         counts[request.row] = counts.get(request.row, 0) + 1
         self._size += 1
 
+    def enqueue_many(self, requests: Sequence[DRAMRequest]) -> None:
+        """Bulk-add a batch of requests (one bookkeeping pass).
+
+        The controller hands over all requests that arrived in the same
+        cycle at once, so the queues and row-count maps are updated in
+        one call instead of one Python call per request.
+        """
+        queues = self._queues
+        row_counts = self._row_counts
+        for request in requests:
+            queues[request.bank].append(request)
+            counts = row_counts[request.bank]
+            counts[request.row] = counts.get(request.row, 0) + 1
+        self._size += len(requests)
+
     def select(self, banks: Sequence[Bank], now: int) -> Tuple[Optional[DRAMRequest], Optional[int]]:
         """Pick the next request to issue at time *now* (and pop it).
 

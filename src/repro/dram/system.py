@@ -87,6 +87,10 @@ class DRAMSystem:
         """Hand a decoded request to its channel controller."""
         self.controllers[channel].submit(request)
 
+    def submit_many(self, channel: int, requests) -> None:
+        """Hand a same-cycle batch of decoded requests to one controller."""
+        self.controllers[channel].submit_many(requests)
+
     # ------------------------------------------------------------------
     # Aggregate statistics
     # ------------------------------------------------------------------

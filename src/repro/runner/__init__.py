@@ -1,0 +1,90 @@
+"""Parallel experiment runner with an on-disk result cache.
+
+This package turns the per-figure ad-hoc sweeps of
+:mod:`repro.analysis.experiments` into a subsystem: a declarative run
+grid, a process-pool executor, and a content-addressed cache, shared
+by the Python API (:class:`~repro.analysis.experiments.ExperimentRunner`),
+the ``repro sweep`` CLI subcommand, and the benchmark harness.
+
+Quick start
+-----------
+::
+
+    from repro.runner import RunConfig, SweepGrid, SweepRunner, sweep_report
+
+    runner = SweepRunner(workers=4, cache_dir="~/.cache/repro")
+    result = runner.run_one(RunConfig("MT", "PAE", scale=0.5))
+
+    grid = SweepGrid(benchmarks=("MT", "SP"), schemes=("PAE",), scale=0.5)
+    report = sweep_report(grid, runner)      # JSON-safe dict
+
+or from the shell::
+
+    repro sweep --benchmarks MT,SP --schemes BASE,PAE --scale 0.5 \
+        --workers 4 -o report.json
+
+Cache layout
+------------
+``cache_dir`` holds one JSON record per completed run::
+
+    <cache_dir>/<hh>/<sha256-of-config>.json
+
+where ``hh`` is the first two hex characters of the key (a fan-out
+directory so no single directory grows huge).  The key is a SHA-256
+over the canonical JSON of the full :class:`~repro.runner.config.RunConfig`
+— benchmark, scheme, BIM seed, SM count, memory technology, trace
+scale, entropy window, RMP profile scale — plus a schema version
+(:data:`~repro.runner.config.CACHE_SCHEMA_VERSION`) that is bumped
+whenever a simulator change alters what a config computes.  Changing
+*any* config field therefore changes the key (a fresh run), and stale
+records from older code are never served.  Records are written
+atomically (temp file + rename); unreadable or truncated records are
+deleted and recomputed, never trusted.  The cache may be shared
+between concurrent processes.
+
+Worker configuration
+--------------------
+``SweepRunner(workers=N)`` executes cache misses on a
+``ProcessPoolExecutor`` with ``N`` workers; ``workers=1`` (the
+default) runs inline in the calling process with no pool overhead.
+``repro sweep --workers 0`` picks one worker per CPU
+(:func:`~repro.runner.sweep.default_workers`).  Each worker process
+keeps a :class:`~repro.runner.worker.RunContext` that memoizes
+workloads, schemes and the RMP suite entropy profile across the tasks
+it serves, so per-task setup cost amortizes away on large grids.
+
+Determinism guarantees
+----------------------
+* Every run is a pure function of its config: workload synthesis and
+  BIM draws are seeded, and the simulator itself has no randomness.
+* ``run_many`` returns results in **input order**, not completion
+  order, and grids expand in a fixed documented order (benchmarks
+  outermost, then schemes / seeds / SM counts / memories).
+* Sweep reports contain no environmental data (timestamps, hosts,
+  worker counts, cache hit rates) and are rendered with sorted keys —
+  so the same grid yields byte-identical JSON for 1 worker or N,
+  cold or warm.
+"""
+
+from .cache import CacheStats, ResultCache
+from .config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+from .report import REPORT_FORMAT, render_report, sweep_report
+from .sweep import SweepRunner, SweepStats, default_workers
+from .worker import RunContext, execute_config, process_context
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "REPORT_FORMAT",
+    "ResultCache",
+    "RunConfig",
+    "RunContext",
+    "SweepGrid",
+    "SweepRunner",
+    "SweepStats",
+    "default_workers",
+    "execute_config",
+    "process_context",
+    "render_report",
+    "sweep_report",
+]

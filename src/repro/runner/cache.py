@@ -1,0 +1,121 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under the cache root)::
+
+    <root>/
+      <hh>/<full-64-hex-hash>.json     # hh = first two hash chars
+
+Each record is one JSON object::
+
+    {
+      "config": {...RunConfig.to_dict()...},
+      "result": {...SimulationResult.to_dict()...}
+    }
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+sweep can never leave a half-written record behind; a record that is
+nevertheless unreadable or malformed (truncated by the filesystem,
+hand-edited, wrong schema) is treated as a miss, deleted, and counted
+in :attr:`CacheStats.corrupt` — the run is simply recomputed.
+
+The cache is safe for concurrent use by multiple processes: records
+are immutable once written (content-addressed by the config hash), and
+the atomic rename makes racing writers idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..core.serialize import canonical_json
+from ..sim.results import SimulationResult
+from .config import RunConfig
+
+__all__ = ["ResultCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultCache:
+    """JSON result records keyed by the stable config hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of the record for cache key *key*."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, config: RunConfig) -> Optional[SimulationResult]:
+        """Look up *config*; None on miss.  Corrupt records self-heal."""
+        path = self.path_for(config.config_hash())
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+            result = SimulationResult.from_dict(record["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Unreadable or malformed record: drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: RunConfig, result: SimulationResult) -> Path:
+        """Store *result* under *config*'s hash (atomic, idempotent)."""
+        path = self.path_for(config.config_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"config": config.to_dict(), "result": result.to_dict()}
+        text = canonical_json(record) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of records currently on disk."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {self.stats.as_dict()})"

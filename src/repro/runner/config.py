@@ -1,0 +1,173 @@
+"""Run configurations and the sweep grid.
+
+A :class:`RunConfig` pins *everything* that determines one simulation's
+outcome: the benchmark, the mapping scheme (and its BIM seed), the SM
+count, the memory technology, the trace scale, and the entropy-window
+parameters the RMP scheme derives its bit choice from.  Because the
+simulator is fully deterministic, two equal configs always produce the
+same :class:`~repro.sim.results.SimulationResult` — which is what makes
+the content-addressed result cache sound.
+
+:class:`SweepGrid` expands the cross product (benchmarks x schemes x
+seeds x SM counts x memories) into a deterministically ordered list of
+configs, always including the BASE baseline each derived metric
+normalizes against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.schemes import SCHEME_NAMES
+from ..core.serialize import stable_hash
+from ..workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS
+
+__all__ = ["RunConfig", "SweepGrid", "CACHE_SCHEMA_VERSION"]
+
+# Salt mixed into every config hash.  Bump this whenever a change to
+# the simulator alters what a given configuration computes (timing
+# model, scheduler behaviour, workload builders, ...): old cache
+# records then miss instead of serving stale numbers.
+CACHE_SCHEMA_VERSION = 1
+
+_MEMORIES = ("gddr5", "stacked")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that determines one simulation run.
+
+    ``profile_scale`` is the trace scale the RMP scheme's suite-average
+    entropy profile is computed at; it matters only for RMP but is part
+    of every config so the hash never depends on scheme-specific logic.
+    """
+
+    benchmark: str
+    scheme: str
+    seed: int = 0
+    n_sms: int = 12
+    memory: str = "gddr5"
+    scale: float = 1.0
+    window: int = 12
+    profile_scale: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark", self.benchmark.upper())
+        object.__setattr__(self, "scheme", self.scheme.upper())
+        if self.profile_scale is None:
+            object.__setattr__(self, "profile_scale", self.scale)
+        if self.benchmark not in ALL_BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; expected one of {ALL_BENCHMARKS}"
+            )
+        if self.scheme not in SCHEME_NAMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEME_NAMES}"
+            )
+        if self.memory not in _MEMORIES:
+            raise ValueError(f"unknown memory kind {self.memory!r}; expected {_MEMORIES}")
+        if self.n_sms <= 0:
+            raise ValueError(f"n_sms must be positive, got {self.n_sms}")
+        if self.scale <= 0 or self.profile_scale <= 0:
+            raise ValueError("scale and profile_scale must be positive")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunConfig":
+        return cls(
+            benchmark=str(data["benchmark"]),
+            scheme=str(data["scheme"]),
+            seed=int(data["seed"]),
+            n_sms=int(data["n_sms"]),
+            memory=str(data["memory"]),
+            scale=float(data["scale"]),
+            window=int(data["window"]),
+            profile_scale=float(data["profile_scale"]),
+        )
+
+    def config_hash(self) -> str:
+        """Stable content hash: the on-disk cache key for this run.
+
+        Mixes in :data:`CACHE_SCHEMA_VERSION` so simulator changes
+        invalidate old records wholesale.
+        """
+        payload = self.to_dict()
+        payload["__schema__"] = CACHE_SCHEMA_VERSION
+        return stable_hash(payload)
+
+    def baseline(self) -> "RunConfig":
+        """The BASE run this config's speedup / perf-per-watt is measured against."""
+        return replace(self, scheme="BASE")
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A (benchmark x scheme x seed x n_sms x memory) cross product.
+
+    ``configs()`` yields the grid in a fixed, documented order —
+    benchmarks outermost, then schemes, seeds, SM counts, memories —
+    so sweep reports are reproducible independent of how the runs were
+    scheduled across workers.
+    """
+
+    benchmarks: Tuple[str, ...] = VALLEY_BENCHMARKS
+    schemes: Tuple[str, ...] = SCHEME_NAMES
+    seeds: Tuple[int, ...] = (0,)
+    n_sms: Tuple[int, ...] = (12,)
+    memories: Tuple[str, ...] = ("gddr5",)
+    scale: float = 1.0
+    window: int = 12
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(b.upper() for b in self.benchmarks))
+        object.__setattr__(self, "schemes", tuple(s.upper() for s in self.schemes))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "n_sms", tuple(int(n) for n in self.n_sms))
+        object.__setattr__(self, "memories", tuple(self.memories))
+        for name in ("benchmarks", "schemes", "seeds", "n_sms", "memories"):
+            if not getattr(self, name):
+                raise ValueError(f"sweep grid needs at least one entry in {name!r}")
+
+    @property
+    def run_schemes(self) -> Tuple[str, ...]:
+        """Schemes actually simulated: the requested ones plus BASE."""
+        if "BASE" in self.schemes:
+            return self.schemes
+        return ("BASE",) + self.schemes
+
+    def configs(self) -> List[RunConfig]:
+        """The full grid as an ordered list of run configurations."""
+        return list(self._iter_configs())
+
+    def _iter_configs(self) -> Iterator[RunConfig]:
+        for benchmark in self.benchmarks:
+            for scheme in self.run_schemes:
+                for seed in self.seeds:
+                    for n_sms in self.n_sms:
+                        for memory in self.memories:
+                            yield RunConfig(
+                                benchmark=benchmark,
+                                scheme=scheme,
+                                seed=seed,
+                                n_sms=n_sms,
+                                memory=memory,
+                                scale=self.scale,
+                                window=self.window,
+                            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "schemes": list(self.schemes),
+            "seeds": list(self.seeds),
+            "n_sms": list(self.n_sms),
+            "memories": list(self.memories),
+            "scale": self.scale,
+            "window": self.window,
+        }

@@ -1,0 +1,93 @@
+"""Machine-readable sweep reports.
+
+:func:`sweep_report` runs a :class:`SweepGrid` through a
+:class:`SweepRunner` and shapes the outcome into one JSON-safe dict —
+the payload of the ``repro sweep`` CLI subcommand and the input of the
+golden-regression tests.
+
+Determinism contract: the report contains *only* values derived from
+the grid and the simulations — no timestamps, host names, worker
+counts or cache statistics — and :func:`render_report` encodes it with
+sorted keys.  Two invocations over the same grid therefore produce
+byte-identical text no matter how many workers ran the sweep or
+whether results came from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
+from .config import RunConfig, SweepGrid
+from .sweep import SweepRunner
+
+__all__ = ["sweep_report", "render_report", "REPORT_FORMAT"]
+
+REPORT_FORMAT = "repro-sweep-report/1"
+
+
+def _metric_tables(
+    configs: List[RunConfig], results: List[SimulationResult], grid: SweepGrid
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-variant speedup / perf-per-watt tables, normalized to BASE.
+
+    Keyed ``metric -> variant -> benchmark -> value`` where a variant
+    is ``scheme`` for the plain single-seed/single-config grid and
+    ``scheme@seed=s,n_sms=n,memory=m`` when those axes are swept.
+    """
+    by_key = {c.config_hash(): r for c, r in zip(configs, results)}
+    multi = (
+        len(grid.seeds) > 1 or len(grid.n_sms) > 1 or len(grid.memories) > 1
+    )
+    speedups: Dict[str, Dict[str, float]] = {}
+    perf_per_watt: Dict[str, Dict[str, float]] = {}
+    for config in configs:
+        base = by_key[config.baseline().config_hash()]
+        result = by_key[config.config_hash()]
+        if multi:
+            variant = (
+                f"{config.scheme}@seed={config.seed},n_sms={config.n_sms},"
+                f"memory={config.memory}"
+            )
+        else:
+            variant = config.scheme
+        speedups.setdefault(variant, {})[config.benchmark] = speedup(result, base)
+        perf_per_watt.setdefault(variant, {})[config.benchmark] = (
+            perf_per_watt_ratio(result, base)
+        )
+    return {"speedup": speedups, "perf_per_watt": perf_per_watt}
+
+
+def _harmonic_means(table: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    means = {}
+    for variant, per_bench in table.items():
+        values = list(per_bench.values())
+        means[variant] = len(values) / sum(1.0 / v for v in values)
+    return means
+
+
+def sweep_report(grid: SweepGrid, runner: SweepRunner) -> Dict[str, object]:
+    """Run *grid* on *runner* and build the report dict."""
+    configs = grid.configs()
+    results = runner.run_many(configs)
+    tables = _metric_tables(configs, results, grid)
+    return {
+        "format": REPORT_FORMAT,
+        "grid": grid.to_dict(),
+        "runs": [
+            {"config": c.to_dict(), "result": r.to_dict()}
+            for c, r in zip(configs, results)
+        ],
+        "derived": {
+            "speedup": tables["speedup"],
+            "perf_per_watt": tables["perf_per_watt"],
+            "hmean_speedup": _harmonic_means(tables["speedup"]),
+            "hmean_perf_per_watt": _harmonic_means(tables["perf_per_watt"]),
+        },
+    }
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Deterministic JSON text of a report (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,178 @@
+"""The parallel sweep runner.
+
+:class:`SweepRunner` fans a list of :class:`RunConfig` out across
+worker processes (``concurrent.futures.ProcessPoolExecutor``) with an
+on-disk :class:`~repro.runner.cache.ResultCache` in front and an
+in-memory memo behind it:
+
+1. every config is first looked up in the in-process memo,
+2. then in the on-disk cache (if one is configured),
+3. remaining misses are deduplicated and executed — inline when
+   ``workers <= 1``, otherwise on the pool — and written back to the
+   cache.
+
+Results are returned **in input order** regardless of which worker
+finished first, so a sweep's output is byte-for-byte identical whether
+it ran on 1 worker or 16 (and whether it was served cold or from
+cache): ordering is positional and every run is a deterministic pure
+function of its config.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.results import SimulationResult
+from .cache import CacheStats, ResultCache
+from .config import RunConfig
+from .worker import execute_config, process_context
+
+__all__ = ["SweepRunner", "SweepStats", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per CPU, min 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one :class:`SweepRunner` instance.
+
+    ``memory_hits`` are served from the in-process memo, ``cache_hits``
+    from disk, ``executed`` were actually simulated.  ``requested`` is
+    the total number of configs asked for (so ``requested ==
+    memory_hits + cache_hits + executed`` after every call — duplicate
+    configs inside one call count as memory hits).
+    """
+
+    requested: int = 0
+    memory_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requested": self.requested,
+            "memory_hits": self.memory_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+        }
+
+
+class SweepRunner:
+    """Runs batches of configs with caching and optional parallelism."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        context=None,
+    ) -> None:
+        """*context* is the :class:`~repro.runner.worker.RunContext` used
+        for inline execution (``workers <= 1``); it defaults to the
+        process-wide one.  Pool workers always use their own process's
+        context."""
+        self.workers = int(workers) if workers is not None else 1
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.stats = SweepStats()
+        self._memory: Dict[str, SimulationResult] = {}
+        self._context = context
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_one(self, config: RunConfig) -> SimulationResult:
+        return self.run_many([config])[0]
+
+    def run_many(self, configs: Sequence[RunConfig]) -> List[SimulationResult]:
+        """Run every config (cache-aware, parallel); results in input order."""
+        configs = list(configs)
+        self.stats.requested += len(configs)
+        keys = [c.config_hash() for c in configs]
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+
+        # 1-2: memo, then disk.  Misses are deduplicated by hash so one
+        # config requested twice in a batch is simulated once.
+        miss_order: List[str] = []
+        miss_config: Dict[str, RunConfig] = {}
+        for i, (config, key) in enumerate(zip(configs, keys)):
+            if key in self._memory:
+                results[i] = self._memory[key]
+                self.stats.memory_hits += 1
+                continue
+            if key in miss_config:
+                self.stats.memory_hits += 1
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(config)
+                if cached is not None:
+                    self._memory[key] = cached
+                    results[i] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            miss_order.append(key)
+            miss_config[key] = config
+
+        # 3: execute the misses.
+        if miss_order:
+            computed = self._execute(
+                [miss_config[key] for key in miss_order]
+            )
+            for key, result in zip(miss_order, computed):
+                self._memory[key] = result
+                self.stats.executed += 1
+                if self.cache is not None:
+                    self.cache.put(miss_config[key], result)
+
+        # Fill remaining slots (memo now has every key).
+        for i, key in enumerate(keys):
+            if results[i] is None:
+                results[i] = self._memory[key]
+        return results  # type: ignore[return-value]
+
+    def _execute(self, configs: List[RunConfig]) -> List[SimulationResult]:
+        if self.workers <= 1 or len(configs) <= 1:
+            context = self._context if self._context is not None else process_context()
+            return [context.execute(c) for c in configs]
+        # The pool persists across run_many calls, so each worker's
+        # RunContext keeps amortizing workload/scheme/RMP-profile
+        # construction over the whole runner lifetime, not one batch.
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        payloads = [c.to_dict() for c in configs]
+        dicts = list(self._pool.map(execute_config, payloads))
+        return [SimulationResult.from_dict(d) for d in dicts]
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Disk-cache accounting (None when no cache is configured)."""
+        return self.cache.stats if self.cache is not None else None
+
+    def cached_runs(self) -> int:
+        """Distinct results currently held in the in-process memo."""
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepRunner(workers={self.workers}, "
+            f"cache={getattr(self.cache, 'root', None)!r}, "
+            f"stats={self.stats.as_dict()})"
+        )

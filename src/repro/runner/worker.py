@@ -1,0 +1,176 @@
+"""Per-process run execution.
+
+:func:`execute_config` is the single place a :class:`RunConfig` is
+turned into a :class:`~repro.sim.results.SimulationResult`; both the
+in-process path (``workers <= 1``) and the ``ProcessPoolExecutor``
+workers call it, so parallel and serial sweeps are computed by
+literally the same code.
+
+A module-level :class:`RunContext` memoizes the expensive immutable
+inputs (workloads, schemes, the RMP suite entropy profile) for the
+lifetime of the process.  Worker processes are reused across tasks by
+the executor, so e.g. the suite-wide entropy profile RMP needs is
+computed at most once per worker per (memory, scale, window) triple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.address_map import AddressMap, hynix_gddr5_map
+from ..core.entropy import (
+    EntropyProfile,
+    application_entropy_profile,
+    average_entropy_profile,
+)
+from ..core.schemes import MappingScheme, build_scheme
+from ..dram.stacked import StackedMemoryConfig, stacked_memory_config
+from ..dram.timing import DRAMTiming, gddr5_timing
+from ..gpu.config import config_with_sms
+from ..sim.gpu_system import GPUSystem
+from ..sim.results import SimulationResult
+from ..workloads.base import Workload
+from ..workloads.suite import ALL_BENCHMARKS, build_workload
+from .config import RunConfig
+
+__all__ = ["RunContext", "execute_config", "process_context"]
+
+
+class RunContext:
+    """Memoized builders for everything a run needs.
+
+    Deterministic: every product is a pure function of its key, so two
+    contexts (in different processes) always agree.
+    """
+
+    def __init__(self) -> None:
+        self._workloads: Dict[Tuple[str, float], Workload] = {}
+        self._profiles: Dict[Tuple[str, str, float, int], EntropyProfile] = {}
+        self._suite_profiles: Dict[Tuple[str, float, int], np.ndarray] = {}
+        self._schemes: Dict[Tuple[str, int, str, float, int], MappingScheme] = {}
+        self._gddr5_map: Optional[AddressMap] = None
+        self._stacked: Optional[StackedMemoryConfig] = None
+
+    # -- immutable hardware descriptions --------------------------------
+    def gddr5_map(self) -> AddressMap:
+        if self._gddr5_map is None:
+            self._gddr5_map = hynix_gddr5_map()
+        return self._gddr5_map
+
+    def stacked(self) -> StackedMemoryConfig:
+        if self._stacked is None:
+            self._stacked = stacked_memory_config()
+        return self._stacked
+
+    def address_map(self, memory: str) -> AddressMap:
+        if memory == "gddr5":
+            return self.gddr5_map()
+        if memory == "stacked":
+            return self.stacked().address_map
+        raise ValueError(f"unknown memory kind {memory!r}")
+
+    # -- memoized inputs -------------------------------------------------
+    def workload(self, benchmark: str, scale: float) -> Workload:
+        key = (benchmark, scale)
+        if key not in self._workloads:
+            self._workloads[key] = build_workload(benchmark, scale=scale)
+        return self._workloads[key]
+
+    def entropy_profile(
+        self, benchmark: str, memory: str, scale: float, window: int
+    ) -> EntropyProfile:
+        """Window-based entropy profile of one benchmark (BASE addresses).
+
+        Shared memo for both the figure scripts and RMP construction,
+        so each expensive profile is computed once per process.
+        """
+        key = (benchmark, memory, scale, window)
+        if key not in self._profiles:
+            self._profiles[key] = application_entropy_profile(
+                self.workload(benchmark, scale).entropy_kernel_inputs(),
+                self.address_map(memory), window, label=benchmark,
+            )
+        return self._profiles[key]
+
+    def suite_average_entropy(
+        self, memory: str, scale: float, window: int
+    ) -> np.ndarray:
+        """Suite-wide per-bit entropy profile (feeds RMP, Section IV-B)."""
+        key = (memory, scale, window)
+        if key not in self._suite_profiles:
+            self._suite_profiles[key] = average_entropy_profile([
+                self.entropy_profile(b, memory, scale, window)
+                for b in ALL_BENCHMARKS
+            ])
+        return self._suite_profiles[key]
+
+    def scheme(
+        self,
+        name: str,
+        seed: int,
+        memory: str,
+        profile_scale: float,
+        window: int,
+    ) -> MappingScheme:
+        key = (name, seed, memory, profile_scale, window)
+        if key not in self._schemes:
+            entropy_by_bit = None
+            if name.upper() == "RMP":
+                entropy_by_bit = self.suite_average_entropy(
+                    memory, profile_scale, window
+                )
+            self._schemes[key] = build_scheme(
+                name, self.address_map(memory), seed=seed,
+                entropy_by_bit=entropy_by_bit,
+            )
+        return self._schemes[key]
+
+    # -- execution -------------------------------------------------------
+    def execute(self, config: RunConfig) -> SimulationResult:
+        """Build a fresh system and run *config* to completion."""
+        workload = self.workload(config.benchmark, config.scale)
+        scheme = self.scheme(
+            config.scheme, config.seed, config.memory,
+            config.profile_scale, config.window,
+        )
+        if config.memory == "gddr5":
+            timing: DRAMTiming = gddr5_timing()
+            power_params = None
+        else:
+            stacked = self.stacked()
+            timing = stacked.timing
+            power_params = stacked.power_params
+        system = GPUSystem(
+            scheme,
+            config=config_with_sms(config.n_sms),
+            timing=timing,
+            dram_power_params=power_params,
+        )
+        return system.run(workload)
+
+
+# One context per process, created lazily.  ProcessPoolExecutor workers
+# call execute_config many times; the context amortizes trace building
+# and scheme construction across those calls.
+_PROCESS_CONTEXT: Optional[RunContext] = None
+
+
+def process_context() -> RunContext:
+    """This process's shared :class:`RunContext` (created on first use)."""
+    global _PROCESS_CONTEXT
+    if _PROCESS_CONTEXT is None:
+        _PROCESS_CONTEXT = RunContext()
+    return _PROCESS_CONTEXT
+
+
+def execute_config(config_data: Dict[str, object]) -> Dict[str, object]:
+    """Pool entry point: run one config (as a dict) and return the result dict.
+
+    Dict-in / dict-out keeps the pickled payload small and makes the
+    worker interface identical to the on-disk record format.
+    """
+    config = RunConfig.from_dict(config_data)
+    result = process_context().execute(config)
+    return result.to_dict()

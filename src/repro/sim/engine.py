@@ -85,7 +85,10 @@ class Engine:
             callback()
             self._events_processed += 1
             budget -= 1
-            if budget <= 0:
+            if budget <= 0 and self._queue:
+                # Only a *pending* queue at exhaustion is an error: a
+                # model that finishes on exactly its last allowed event
+                # completed, it did not livelock.
                 raise SimulationError(
                     f"exceeded max_events={max_events} (possible livelock) "
                     f"at cycle {self._now}"

@@ -12,8 +12,12 @@ Wires together every substrate into the paper's simulated machine
 The address mapper sits conceptually right after the coalescer: all
 cache indexing, slice selection, NoC routing and DRAM decode use the
 *mapped* address.  For speed the mapping + field decode of every
-transaction is precomputed (vectorized) when TBs are prepared; this is
-exact because the BIM is stateless.
+transaction is precomputed (vectorized, one pass per kernel) when TBs
+are prepared; this is exact because the BIM is stateless.  DRAM
+traffic is batched per cycle: LLC misses and writeback victims
+accumulate and are decoded, grouped per channel and scheduled by one
+FR-FCFS pass per controller per cycle instead of one Python event per
+request.
 
 Instrumentation captures everything the paper's evaluation plots:
 execution cycles, NoC packet latency (13a), LLC miss rate (13b),
@@ -48,7 +52,8 @@ from .results import SimulationResult
 
 __all__ = ["GPUSystem", "simulate"]
 
-# Sentinel payload marking fire-and-forget writeback completions.
+# Sentinel tagging fire-and-forget writeback completions; the payload
+# is the tuple ``(_WRITEBACK, channel)`` so completion needs no decode.
 _WRITEBACK = object()
 
 
@@ -124,27 +129,71 @@ class GPUSystem:
         self._mapper_extra_latency = scheme.extra_latency_cycles
         self._slices_per_channel = max(1, self.config.llc_slices // self.timing.channels)
 
+        # Same-cycle DRAM submission batching: misses and writebacks
+        # accumulate here and are flushed to the controllers by one
+        # event per cycle, so a burst of requests is decoded and
+        # scheduled as arrays rather than one Python event each.
+        self._dram_reads_pending: List[MemRequest] = []
+        self._dram_writebacks_pending: List[int] = []
+        self._dram_flush_scheduled = False
+
     # ------------------------------------------------------------------
     # Trace preparation: vectorized mapping + decode
     # ------------------------------------------------------------------
+    def _coords_of(self, mapped: np.ndarray):
+        """DRAM coordinates of already-mapped addresses (vectorized)."""
+        fields = decode_fields(self.address_map, mapped)
+        line_mask = ~np.uint64(self.config.line_bytes - 1)
+        lines = (mapped & line_mask).astype(np.int64)
+        channels = self._channels_of(fields)
+        banks = fields["bank"]
+        rows = fields["row"]
+        slices = self._slice_of(channels, banks)
+        return lines, channels, banks, rows, slices
+
+    def _channels_of(self, fields: Dict[str, np.ndarray]) -> np.ndarray:
+        """Controller index per request from decoded fields."""
+        if "channel" in self.address_map:
+            return fields["channel"]
+        vaults = self.address_map.field("vault").size
+        return fields["stack"] * vaults + fields["vault"]
+
     def _prepare_warp(self, trace: WarpTrace):
         """Precompute mapped coordinates for every request of a warp."""
         if not len(trace):
             empty = np.empty(0, dtype=np.int64)
             return empty, empty, empty, empty, empty
         mapped = np.atleast_1d(self.scheme.map(trace.addresses))
-        fields = decode_fields(self.address_map, mapped)
-        line_mask = ~np.uint64(self.config.line_bytes - 1)
-        lines = (mapped & line_mask).astype(np.int64)
-        if "channel" in self.address_map:
-            channels = fields["channel"]
-        else:
-            vaults = self.address_map.field("vault").size
-            channels = fields["stack"] * vaults + fields["vault"]
-        banks = fields["bank"]
-        rows = fields["row"]
-        slices = self._slice_of(channels, banks)
-        return lines, channels, banks, rows, slices
+        return self._coords_of(mapped)
+
+    def _prepare_kernel(self, kernel) -> "callable":
+        """Batched trace preparation for one kernel's warps.
+
+        All warp address streams of the kernel are concatenated, mapped
+        and decoded in a single vectorized pass, then split back into
+        per-warp views.  Bit-identical to per-warp :meth:`_prepare_warp`
+        (the BIM and the field decode are elementwise), but the numpy
+        fixed cost is paid once per kernel instead of once per warp.
+        """
+        traces = [warp for tb in kernel.tbs for warp in tb.warps]
+        nonempty = [t for t in traces if len(t)]
+        if not nonempty:
+            return self._prepare_warp
+        addresses = np.concatenate([t.addresses for t in nonempty])
+        mapped = np.atleast_1d(self.scheme.map(addresses))
+        coords = self._coords_of(mapped)
+        empty = np.empty(0, dtype=np.int64)
+        table = {}
+        offset = 0
+        for trace in traces:
+            n = len(trace)
+            if not n:
+                table[id(trace)] = (empty, empty, empty, empty, empty)
+                continue
+            view = slice(offset, offset + n)
+            table[id(trace)] = tuple(arr[view] for arr in coords)
+            offset += n
+        return lambda trace: table[id(trace)]
 
     def _slice_of(self, channels: np.ndarray, banks: np.ndarray) -> np.ndarray:
         """LLC slice selection from mapped channel/bank coordinates.
@@ -205,32 +254,64 @@ class GPUSystem:
         )
 
     def _submit_dram_read(self, request: MemRequest) -> None:
-        channel = request.channel
-        self.channel_tracker.change(channel, +1, self.engine.now)
-        self.bank_trackers[channel].change(request.bank, +1, self.engine.now)
-        self.dram.submit(channel, DRAMRequest(
-            request_id=id(request),
-            bank=request.bank,
-            row=request.row,
-            is_write=False,
-            arrival=self.engine.now,
-            payload=request,
-        ))
+        self._dram_reads_pending.append(request)
+        self._schedule_dram_flush()
 
     def _submit_dram_writeback(self, line: int) -> None:
         """Dirty LLC victim -> DRAM write (fire and forget)."""
-        fields = self.address_map.decode(line)
-        channel = self.dram.channel_of(fields)
-        self.channel_tracker.change(channel, +1, self.engine.now)
-        self.bank_trackers[channel].change(fields["bank"], +1, self.engine.now)
-        self.dram.submit(channel, DRAMRequest(
-            request_id=line,
-            bank=fields["bank"],
-            row=fields["row"],
-            is_write=True,
-            arrival=self.engine.now,
-            payload=_WRITEBACK,
-        ))
+        self._dram_writebacks_pending.append(line)
+        self._schedule_dram_flush()
+
+    def _schedule_dram_flush(self) -> None:
+        if not self._dram_flush_scheduled:
+            self._dram_flush_scheduled = True
+            self.engine.at(self.engine.now, self._flush_dram_batch)
+
+    def _flush_dram_batch(self) -> None:
+        """Hand this cycle's accumulated DRAM traffic to the controllers.
+
+        Reads were decoded at trace preparation; writeback victim lines
+        are decoded here as one array.  Requests are grouped per channel
+        and submitted as batches, so each controller runs one FR-FCFS
+        pass over the cycle's arrivals.
+        """
+        self._dram_flush_scheduled = False
+        now = self.engine.now
+        reads, self._dram_reads_pending = self._dram_reads_pending, []
+        lines, self._dram_writebacks_pending = self._dram_writebacks_pending, []
+        per_channel: Dict[int, List[DRAMRequest]] = {}
+        for request in reads:
+            channel = request.channel
+            self.channel_tracker.change(channel, +1, now)
+            self.bank_trackers[channel].change(request.bank, +1, now)
+            per_channel.setdefault(channel, []).append(DRAMRequest(
+                request_id=id(request),
+                bank=request.bank,
+                row=request.row,
+                is_write=False,
+                arrival=now,
+                payload=request,
+            ))
+        if lines:
+            fields = decode_fields(
+                self.address_map, np.asarray(lines, dtype=np.uint64)
+            )
+            channels = self._channels_of(fields).tolist()
+            banks = fields["bank"].tolist()
+            rows = fields["row"].tolist()
+            for line, channel, bank, row in zip(lines, channels, banks, rows):
+                self.channel_tracker.change(channel, +1, now)
+                self.bank_trackers[channel].change(bank, +1, now)
+                per_channel.setdefault(channel, []).append(DRAMRequest(
+                    request_id=line,
+                    bank=bank,
+                    row=row,
+                    is_write=True,
+                    arrival=now,
+                    payload=(_WRITEBACK, channel),
+                ))
+        for channel in sorted(per_channel):
+            self.dram.submit_many(channel, per_channel[channel])
 
     def _dram_complete(self, request: DRAMRequest, when: int) -> None:
         payload = request.payload
@@ -239,9 +320,8 @@ class GPUSystem:
             self.channel_tracker.change(channel, -1, self.engine.now)
             self.bank_trackers[channel].change(request.bank, -1, self.engine.now)
             self.slices[payload.slice].on_dram_fill(payload.line)
-        elif payload is _WRITEBACK:
-            fields = self.address_map.decode(request.request_id)
-            channel = self.dram.channel_of(fields)
+        elif isinstance(payload, tuple) and payload[0] is _WRITEBACK:
+            channel = payload[1]
             self.channel_tracker.change(channel, -1, self.engine.now)
             self.bank_trackers[channel].change(request.bank, -1, self.engine.now)
         else:
@@ -263,8 +343,9 @@ class GPUSystem:
             raise RuntimeError("GPUSystem instances are single-use; build a new one")
         kernels = []
         for kernel_index, kernel in enumerate(workload.kernels):
+            prepare = self._prepare_kernel(kernel)
             kernels.append([
-                TBContext(tb, kernel_index, self._prepare_warp) for tb in kernel.tbs
+                TBContext(tb, kernel_index, prepare) for tb in kernel.tbs
             ])
         self._kernels_pending = kernels[1:]
         self.scheduler.load_kernel(kernels[0])

@@ -14,7 +14,10 @@ from typing import Dict
 
 from ..dram.power import DRAMPowerBreakdown
 
-__all__ = ["SimulationResult", "speedup", "perf_per_watt_ratio"]
+__all__ = ["SimulationResult", "speedup", "perf_per_watt_ratio", "RESULT_FORMAT"]
+
+# Bumped whenever the serialized record layout changes incompatibly.
+RESULT_FORMAT = "simulation_result/1"
 
 
 @dataclass(frozen=True)
@@ -88,6 +91,65 @@ class SimulationResult:
             "dram_power_activate": self.dram_power.activate,
             "system_power": self.system_power,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Portable, JSON-safe dict (cache records, sweep reports).
+
+        Round-trips exactly through :meth:`from_dict`: floats survive
+        via JSON's repr round-trip and the power breakdown is nested as
+        its own dict.
+        """
+        return {
+            "type": RESULT_FORMAT,
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "requests": self.requests,
+            "l1_miss_rate": self.l1_miss_rate,
+            "llc_miss_rate": self.llc_miss_rate,
+            "llc_accesses": self.llc_accesses,
+            "noc_mean_latency": self.noc_mean_latency,
+            "llc_parallelism": self.llc_parallelism,
+            "channel_parallelism": self.channel_parallelism,
+            "bank_parallelism": self.bank_parallelism,
+            "row_hit_rate": self.row_hit_rate,
+            "dram_activates": self.dram_activates,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_power": self.dram_power.as_dict(),
+            "gpu_power": self.gpu_power,
+            "instructions": self.instructions,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (re-validating)."""
+        if data.get("type") != RESULT_FORMAT:
+            raise ValueError(
+                f"not a serialized simulation result: type={data.get('type')!r}"
+            )
+        return cls(
+            workload=str(data["workload"]),
+            scheme=str(data["scheme"]),
+            cycles=int(data["cycles"]),
+            requests=int(data["requests"]),
+            l1_miss_rate=float(data["l1_miss_rate"]),
+            llc_miss_rate=float(data["llc_miss_rate"]),
+            llc_accesses=int(data["llc_accesses"]),
+            noc_mean_latency=float(data["noc_mean_latency"]),
+            llc_parallelism=float(data["llc_parallelism"]),
+            channel_parallelism=float(data["channel_parallelism"]),
+            bank_parallelism=float(data["bank_parallelism"]),
+            row_hit_rate=float(data["row_hit_rate"]),
+            dram_activates=int(data["dram_activates"]),
+            dram_reads=int(data["dram_reads"]),
+            dram_writes=int(data["dram_writes"]),
+            dram_power=DRAMPowerBreakdown.from_dict(dict(data["dram_power"])),
+            gpu_power=float(data["gpu_power"]),
+            instructions=float(data["instructions"]),
+            metadata=dict(data.get("metadata", {})),
+        )
 
     def __repr__(self) -> str:
         return (

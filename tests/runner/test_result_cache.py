@@ -1,0 +1,116 @@
+"""Tests for the on-disk result cache: round trips, accounting, recovery."""
+
+import json
+
+import pytest
+
+from repro.dram.power import DRAMPowerBreakdown
+from repro.runner.cache import ResultCache
+from repro.runner.config import RunConfig
+from repro.sim.results import SimulationResult
+
+
+def make_result(workload="MT", scheme="PAE", cycles=1000) -> SimulationResult:
+    return SimulationResult(
+        workload=workload,
+        scheme=scheme,
+        cycles=cycles,
+        requests=64,
+        l1_miss_rate=0.5,
+        llc_miss_rate=0.25,
+        llc_accesses=32,
+        noc_mean_latency=14.5,
+        llc_parallelism=3.0,
+        channel_parallelism=2.0,
+        bank_parallelism=4.0,
+        row_hit_rate=0.75,
+        dram_activates=8,
+        dram_reads=24,
+        dram_writes=4,
+        dram_power=DRAMPowerBreakdown(
+            background=16.0, refresh=2.4, activate=1.0, read=0.5, write=0.1
+        ),
+        gpu_power=55.0,
+        instructions=6400.0,
+        metadata={"events": 123},
+    )
+
+
+CONFIG = RunConfig("MT", "PAE", scale=0.25)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stored = make_result()
+        cache.put(CONFIG, stored)
+        loaded = cache.get(CONFIG)
+        assert loaded == stored
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(CONFIG) is None
+        assert cache.stats.misses == 1
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result())
+        other = RunConfig("MT", "PAE", scale=0.5)
+        assert cache.get(other) is None
+
+    def test_record_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(CONFIG, make_result())
+        key = CONFIG.config_hash()
+        assert path.name == f"{key}.json"
+        assert path.parent.name == key[:2]
+        record = json.loads(path.read_text())
+        assert record["config"] == CONFIG.to_dict()
+        assert len(cache) == 1
+
+    def test_float_exactness(self, tmp_path):
+        """JSON repr round-trip: cached floats are bit-identical."""
+        cache = ResultCache(tmp_path)
+        stored = make_result(cycles=7)
+        cache.put(CONFIG, stored)
+        loaded = cache.get(CONFIG)
+        assert loaded.noc_mean_latency == stored.noc_mean_latency
+        assert loaded.dram_power.total == stored.dram_power.total
+
+
+class TestCorruptionRecovery:
+    def _corrupt(self, cache, text) -> None:
+        path = cache.path_for(CONFIG.config_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    @pytest.mark.parametrize("garbage", [
+        "", "not json at all", '{"truncated": ',
+        '{"config": {}, "result": {"type": "wrong/9"}}',
+        '{"config": {}}',  # missing result
+        '[1, 2, 3]',
+    ])
+    def test_corrupt_record_is_a_miss_and_removed(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        self._corrupt(cache, garbage)
+        assert cache.get(CONFIG) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(CONFIG.config_hash()).exists()
+
+    def test_recovers_after_rewrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._corrupt(cache, "garbage")
+        assert cache.get(CONFIG) is None
+        cache.put(CONFIG, make_result())
+        assert cache.get(CONFIG) == make_result()
+
+
+class TestSharedCache:
+    def test_two_instances_share_records(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.put(CONFIG, make_result())
+        reader = ResultCache(tmp_path)
+        assert reader.get(CONFIG) == make_result()
+        assert reader.stats.hits == 1

@@ -1,0 +1,127 @@
+"""Tests for run configs, grid expansion and hash stability."""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.runner.config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+
+
+class TestRunConfig:
+    def test_normalizes_case(self):
+        config = RunConfig("mt", "pae")
+        assert config.benchmark == "MT"
+        assert config.scheme == "PAE"
+
+    def test_profile_scale_defaults_to_scale(self):
+        assert RunConfig("MT", "PAE", scale=0.5).profile_scale == 0.5
+        assert RunConfig("MT", "PAE", scale=0.5, profile_scale=1.0).profile_scale == 1.0
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="benchmark"):
+            RunConfig("NOPE", "PAE")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            RunConfig("MT", "NOPE")
+
+    def test_rejects_unknown_memory(self):
+        with pytest.raises(ValueError, match="memory"):
+            RunConfig("MT", "PAE", memory="hbm17")
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError):
+            RunConfig("MT", "PAE", n_sms=0)
+        with pytest.raises(ValueError):
+            RunConfig("MT", "PAE", scale=0.0)
+        with pytest.raises(ValueError):
+            RunConfig("MT", "PAE", window=0)
+
+    def test_dict_round_trip(self):
+        config = RunConfig("LU", "FAE", seed=3, n_sms=24, memory="stacked",
+                           scale=0.5, window=8)
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_baseline_swaps_scheme_only(self):
+        config = RunConfig("LU", "FAE", seed=3, n_sms=24, scale=0.5)
+        base = config.baseline()
+        assert base.scheme == "BASE"
+        assert base == replace(config, scheme="BASE")
+
+
+class TestConfigHash:
+    def test_equal_configs_equal_hashes(self):
+        a = RunConfig("MT", "PAE", seed=1)
+        b = RunConfig("mt", "pae", seed=1)
+        assert a.config_hash() == b.config_hash()
+
+    def test_every_field_change_invalidates(self):
+        base = RunConfig("MT", "PAE", seed=0, n_sms=12, memory="gddr5",
+                         scale=1.0, window=12, profile_scale=1.0)
+        variants = [
+            replace(base, benchmark="LU"),
+            replace(base, scheme="FAE"),
+            replace(base, seed=1),
+            replace(base, n_sms=24),
+            replace(base, memory="stacked"),
+            replace(base, scale=0.5),
+            replace(base, window=8),
+            replace(base, profile_scale=0.5),
+        ]
+        hashes = {base.config_hash()} | {v.config_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_hash_stable_across_processes(self):
+        """The cache key must not depend on interpreter hash randomization."""
+        config = RunConfig("MT", "PAE", seed=2, scale=0.5)
+        code = (
+            "from repro.runner.config import RunConfig; "
+            "print(RunConfig('MT', 'PAE', seed=2, scale=0.5).config_hash())"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"  # force a different seed than ours
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == config.config_hash()
+
+    def test_schema_version_salts_the_hash(self):
+        config = RunConfig("MT", "PAE")
+        payload = config.to_dict()
+        payload["__schema__"] = CACHE_SCHEMA_VERSION + 1
+        from repro.core.serialize import stable_hash
+
+        assert stable_hash(payload) != config.config_hash()
+
+
+class TestSweepGrid:
+    def test_base_always_included(self):
+        grid = SweepGrid(benchmarks=("MT",), schemes=("PAE",))
+        schemes = {c.scheme for c in grid.configs()}
+        assert schemes == {"BASE", "PAE"}
+
+    def test_base_not_duplicated(self):
+        grid = SweepGrid(benchmarks=("MT",), schemes=("BASE", "PAE"))
+        assert len(grid.configs()) == 2
+
+    def test_deterministic_order(self):
+        grid = SweepGrid(benchmarks=("SP", "MT"), schemes=("PAE", "PM"),
+                         seeds=(0, 1))
+        configs = grid.configs()
+        assert configs == grid.configs()
+        # Benchmarks outermost, in the order given.
+        assert [c.benchmark for c in configs[: len(configs) // 2]] == \
+            ["SP"] * (len(configs) // 2)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SweepGrid(benchmarks=())
+
+    def test_grid_dict_is_json_safe(self):
+        import json
+
+        json.dumps(SweepGrid().to_dict())

@@ -44,6 +44,28 @@ class TestOrdering:
         engine.run()
         assert fired == [0, 1, 2, 3]
 
+    def test_same_cycle_events_scheduled_from_callbacks_run_fifo(self):
+        """An event scheduled *for the current cycle* from inside a
+        callback runs this cycle, after everything already queued —
+        the property the DRAM same-cycle submit batching rests on."""
+        engine = Engine()
+        fired = []
+        engine.at(5, lambda: (fired.append("a"),
+                              engine.at(5, lambda: fired.append("flush"))))
+        engine.at(5, lambda: fired.append("b"))
+        engine.at(6, lambda: fired.append("next-cycle"))
+        engine.run()
+        assert fired == ["a", "b", "flush", "next-cycle"]
+
+    def test_zero_delay_after_is_same_cycle_fifo(self):
+        engine = Engine()
+        fired = []
+        engine.at(3, lambda: engine.after(0, lambda: fired.append("late")))
+        engine.at(3, lambda: fired.append("early"))
+        engine.run()
+        assert engine.now == 3
+        assert fired == ["early", "late"]
+
 
 class TestLimits:
     def test_until_stops_clock(self):
@@ -66,12 +88,48 @@ class TestLimits:
         with pytest.raises(SimulationError, match="max_events"):
             engine.run(max_events=100)
 
+    def test_exact_max_events_completion_is_not_an_error(self):
+        """A model that finishes on exactly its last allowed event
+        completed normally — exhaustion is only an error while work
+        remains queued."""
+        engine = Engine()
+        fired = []
+        for t in range(5):
+            engine.at(t, lambda t=t: fired.append(t))
+        assert engine.run(max_events=5) == 4
+        assert fired == [0, 1, 2, 3, 4]
+        assert engine.pending == 0
+
+    def test_max_events_exhaustion_with_pending_work_raises(self):
+        engine = Engine()
+        for t in range(6):
+            engine.at(t, lambda: None)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=5)
+        # The guard fired with the sixth event still queued.
+        assert engine.pending == 1
+
     def test_past_scheduling_rejected(self):
         engine = Engine()
         engine.at(10, lambda: None)
         engine.run()
         with pytest.raises(SimulationError):
             engine.at(5, lambda: None)
+
+    def test_past_scheduling_from_inside_callback_raises(self):
+        """A callback that schedules into the past is a model bug; the
+        error must surface out of run(), not be swallowed."""
+        engine = Engine()
+        engine.at(10, lambda: engine.at(9, lambda: None))
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            engine.run()
+        assert engine.now == 10
+
+    def test_negative_after_from_inside_callback_raises(self):
+        engine = Engine()
+        engine.at(4, lambda: engine.after(-2, lambda: None))
+        with pytest.raises(SimulationError, match="non-negative"):
+            engine.run()
 
     def test_negative_delay_rejected(self):
         with pytest.raises(SimulationError):

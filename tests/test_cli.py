@@ -49,6 +49,49 @@ class TestSimulate:
         assert "speedup" in out
 
 
+class TestSweep:
+    def test_report_written_and_cached(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out1 = tmp_path / "r1.json"
+        out2 = tmp_path / "r2.json"
+        argv = [
+            "sweep", "--benchmarks", "SP", "--schemes", "PAE",
+            "--scale", "0.25", "--cache-dir", str(cache),
+        ]
+        assert main(argv + ["-o", str(out1)]) == 0
+        first_err = capsys.readouterr().err
+        assert "2 executed" in first_err
+
+        assert main(argv + ["-o", str(out2)]) == 0
+        second_err = capsys.readouterr().err
+        assert "2 cache hits" in second_err
+        assert "0 executed" in second_err
+
+        # Cold and warm reports are byte-identical.
+        assert out1.read_bytes() == out2.read_bytes()
+
+        report = json.loads(out1.read_text())
+        assert report["format"].startswith("repro-sweep-report/")
+        assert report["derived"]["speedup"]["PAE"]["SP"] > 1.0
+        assert len(report["runs"]) == 2  # BASE + PAE
+
+    def test_stdout_output_and_suite_shorthand(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--benchmarks", "SP,HS", "--schemes", "PM",
+            "--scale", "0.25", "--cache-dir", "",
+        ]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert set(report["grid"]["benchmarks"]) == {"SP", "HS"}
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main([
+            "sweep", "--benchmarks", "NOPE", "--schemes", "PM",
+            "--cache-dir", "",
+        ]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
 class TestExport:
     def test_export_roundtrip(self, tmp_path, capsys):
         path = tmp_path / "pae.json"
