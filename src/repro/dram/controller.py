@@ -68,6 +68,9 @@ class MemoryController:
         self._inflight = 0
         self._max_inflight = max_inflight
         self._wake_scheduled_at: Optional[int] = None
+        # Pre-bound for the engine's closure-free scheduling fast path.
+        self._wake_cb = self._wake
+        self._data_done_cb = self._data_done
         # Statistics.
         self.reads = 0
         self.writes = 0
@@ -146,15 +149,19 @@ class MemoryController:
             self.reads += 1
         self.queue_wait_total += max(0, now - request.arrival)
         self._inflight += 1
-        self._engine.at(data_end, lambda r=request, d=data_end: self._data_done(r, d))
+        self._engine.at_call(data_end, self._data_done_cb, request)
         # The bank frees at column_cmd + tCCD which may be < data_end;
-        # try to issue more work then.
-        self._wake_at(column_cmd + t.t_ccd)
+        # try to issue more work then.  With nothing queued there is
+        # nothing to issue — the next submit wakes the pump itself.
+        if not self._scheduler.empty:
+            self._wake_at(column_cmd + t.t_ccd)
 
-    def _data_done(self, request: DRAMRequest, when: int) -> None:
+    def _data_done(self, request: DRAMRequest) -> None:
+        # Fires exactly at the request's data_end cycle, so "when" is
+        # simply the current time.
         self._inflight -= 1
         if self._on_complete is not None:
-            self._on_complete(request, when)
+            self._on_complete(request, self._engine.now)
         self._pump()
 
     def _wake_at(self, time: int) -> None:
@@ -162,7 +169,7 @@ class MemoryController:
         if self._wake_scheduled_at is not None and self._wake_scheduled_at <= time:
             return
         self._wake_scheduled_at = time
-        self._engine.at(time, self._wake)
+        self._engine.at(time, self._wake_cb)
 
     def _wake(self) -> None:
         # Only the event matching the marker may clear it; stale events

@@ -21,13 +21,15 @@ from .bank import Bank
 __all__ = ["DRAMRequest", "FRFCFSScheduler", "FCFSScheduler"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMRequest:
     """One memory request as seen by a channel's controller.
 
     ``bank`` and ``row`` are coordinates decoded from the *mapped*
     address.  ``payload`` is opaque to the DRAM subsystem and is handed
     back on completion (the GPU side stores its transaction there).
+    Slots keep the per-request footprint small — controllers allocate
+    one of these per transaction on the hot path.
     """
 
     request_id: int
@@ -54,12 +56,14 @@ class FRFCFSScheduler:
         self._row_counts: List[Dict[int, int]] = [{} for _ in range(n_banks)]
         self._size = 0
         # Round-robin start position so that equal-age requests do not
-        # starve high-numbered banks.
+        # starve high-numbered banks.  All n rotations are precomputed
+        # once; select() runs on every controller wake, so building the
+        # order list per call shows up in profiles.
         self._rr = 0
-
-    def _bank_order(self) -> List[int]:
-        n = len(self._queues)
-        return [(self._rr + i) % n for i in range(n)]
+        self._orders: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple((start + i) % n_banks for i in range(n_banks))
+            for start in range(n_banks)
+        )
 
     def __len__(self) -> int:
         return self._size
@@ -104,17 +108,20 @@ class FRFCFSScheduler:
         best_key: Optional[Tuple[int, int]] = None
         best_pos: Optional[Tuple[int, int]] = None
         next_ready: Optional[int] = None
-        for bank_idx in self._bank_order():
-            queue = self._queues[bank_idx]
+        queues = self._queues
+        row_counts = self._row_counts
+        for bank_idx in self._orders[self._rr]:
+            queue = queues[bank_idx]
             if not queue:
                 continue
             bank = banks[bank_idx]
-            if bank.ready_at > now:
-                if next_ready is None or bank.ready_at < next_ready:
-                    next_ready = bank.ready_at
+            ready_at = bank.ready_at
+            if ready_at > now:
+                if next_ready is None or ready_at < next_ready:
+                    next_ready = ready_at
                 continue
             open_row = bank.open_row
-            if open_row is not None and self._row_counts[bank_idx].get(open_row, 0) > 0:
+            if open_row is not None and row_counts[bank_idx].get(open_row, 0) > 0:
                 for i, req in enumerate(queue):
                     if req.row == open_row:
                         key = (0, req.arrival)
@@ -151,7 +158,7 @@ class FCFSScheduler(FRFCFSScheduler):
         best_pos: Optional[int] = None
         best_arrival: Optional[int] = None
         next_ready: Optional[int] = None
-        for bank_idx in self._bank_order():
+        for bank_idx in self._orders[self._rr]:
             queue = self._queues[bank_idx]
             if not queue:
                 continue

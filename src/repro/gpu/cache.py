@@ -132,6 +132,24 @@ class SetAssociativeCache:
         line = self.line_address(address)
         return line in self._lines[self._set_index(line)]
 
+    def try_read(self, address: int) -> bool:
+        """Single-pass read for allocate-on-fill designs.
+
+        On a hit, refresh LRU, count a read hit and return True.  On a
+        miss return False *without* allocating or counting — the caller
+        records the miss (``stats.count_miss``) and drives the fill
+        path.  Equivalent to ``probe() and access()`` but with one set
+        lookup instead of two, which matters on the issue hot path.
+        """
+        line = self.line_address(address)
+        entry = self._lines[self._set_index(line)].get(line)
+        if entry is None:
+            return False
+        self._use_counter += 1
+        entry[0] = self._use_counter
+        self.stats.read_hits += 1
+        return True
+
     def resident_lines(self) -> int:
         """Total lines currently cached (for invariants in tests)."""
         return sum(len(s) for s in self._lines)

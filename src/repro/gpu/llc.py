@@ -62,6 +62,8 @@ class LLCSlice:
         self.mshr = MSHRFile(config.llc_mshrs_per_slice, name=f"LLC-MSHR[{slice_id}]")
         self._stalled: Deque[MemRequest] = deque()
         self.outstanding = 0  # reads in flight at this slice
+        # Pre-bound for the engine's closure-free scheduling fast path.
+        self._respond_cb = self._respond
 
     # ------------------------------------------------------------------
     # Request handling (arrivals from the request NoC)
@@ -69,11 +71,9 @@ class LLCSlice:
     def on_read(self, request: MemRequest) -> None:
         """A read request arrived at this slice."""
         self.outstanding += 1
-        line = request.line
-        if self.cache.probe(line):
-            self.cache.access(line, is_write=False)
-            self._engine.after(
-                self._config.llc_latency, lambda r=request: self._respond(r)
+        if self.cache.try_read(request.line):
+            self._engine.after_call(
+                self._config.llc_latency, self._respond_cb, request
             )
             return
         self.cache.stats.count_miss(is_write=False)
@@ -112,10 +112,9 @@ class LLCSlice:
             self._respond(request)
         while self._stalled and not self.mshr.full:
             waiting = self._stalled.popleft()
-            if self.cache.probe(waiting.line):
-                self.cache.access(waiting.line, is_write=False)
-                self._engine.after(
-                    self._config.llc_latency, lambda r=waiting: self._respond(r)
+            if self.cache.try_read(waiting.line):
+                self._engine.after_call(
+                    self._config.llc_latency, self._respond_cb, waiting
                 )
             else:
                 self._allocate_and_fetch(waiting)

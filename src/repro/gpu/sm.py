@@ -10,10 +10,17 @@ effect, that co-resident TBs are consecutive in issue order, is
 produced by the TB scheduler assigning TBs in identifier order.
 
 The SM issues at most one memory instruction per ``issue_interval``
-cycles (the coalescer port).  Loads go through the per-SM L1
-(write-through, no-write-allocate for stores; allocate-on-fill with
-MSHR merging for loads).  L1 misses become NoC transactions handled by
-the system; fills wake all merged waiters and retry MSHR-full stalls.
+cycles (the coalescer port).  Issue is driven by one per-SM tick, not
+per-warp events: a warp whose compute gap elapses joins the SM's ready
+deque (preserving GTO age order), and a single tick callback per
+``issue_interval`` drains one warp through the port/L1/MSHR logic.
+Under port contention this costs one event per issue slot instead of
+one retry event per waiting warp per slot.
+
+Loads go through the per-SM L1 (write-through, no-write-allocate for
+stores; allocate-on-fill with MSHR merging for loads).  L1 misses
+become NoC transactions handled by the system; fills wake all merged
+waiters and retry MSHR-full stalls.
 """
 
 from __future__ import annotations
@@ -65,11 +72,12 @@ class SM:
         config: GPUConfig,
         sm_id: int,
         send_read: Callable[[MemRequest], None],
-        send_write: Callable[["SM", int, int, Callable[[], None]], None],
+        send_write: Callable[["SM", int, int, Callable, object], None],
     ) -> None:
         """*send_read* forwards an L1 miss; *send_write* takes
-        ``(sm, slice_id, line, on_accepted)`` for write-through stores —
-        the callback fires when the store is accepted downstream."""
+        ``(sm, slice_id, line, on_accepted, arg)`` for write-through
+        stores — ``on_accepted(arg)`` fires when the store is accepted
+        downstream (closure-free, like the engine's ``at_call``)."""
         self._engine = engine
         self._config = config
         self.sm_id = sm_id
@@ -80,7 +88,17 @@ class SM:
         )
         self.mshr = MSHRFile(config.l1_mshrs, name=f"L1-MSHR[{sm_id}]")
         self._port_free_at = 0
+        # Warps whose compute gap has elapsed, waiting for the issue
+        # port, in readiness (age) order.
+        self._ready: Deque[WarpContext] = deque()
+        # Warps parked on a full MSHR file; on_fill retries them.
         self._stalled: Deque[WarpContext] = deque()
+        self._tick_armed = False
+        # Pre-bound callbacks: scheduling through the engine's
+        # closure-free API then allocates nothing per event.
+        self._tick_cb = self._tick
+        self._warp_ready_cb = self._warp_ready
+        self._op_completed_cb = self._op_completed
         self.active_tbs: List[TBContext] = []
         self.on_tb_done: Optional[Callable[[TBContext], None]] = None
         # Statistics.
@@ -134,27 +152,58 @@ class SM:
     # instructions in flight (independent loads pipeline; the warp only
     # stalls on a dependent use).  ``warp.op`` is the next instruction
     # to issue; ``warp.outstanding`` counts issued-but-uncompleted ops;
-    # ``warp.issue_pending`` marks that an issue event is scheduled or
-    # the warp is parked in the MSHR-full queue, so completions never
-    # double-schedule.
+    # ``warp.issue_pending`` marks that the warp is waiting for its
+    # compute gap, sitting in the ready deque, or parked in the
+    # MSHR-full queue, so completions never double-schedule.
 
     def _schedule_issue(self, warp: WarpContext) -> None:
         """Arrange for the warp's next op to issue after its compute gap."""
         warp.issue_pending = True
-        gap = int(warp.gaps[warp.op])
-        self._engine.after(gap, lambda w=warp: self._try_issue(w))
+        gap = warp.gaps[warp.op]
+        if gap:
+            self._engine.after_call(gap, self._warp_ready_cb, warp)
+        else:
+            self._warp_ready(warp)
 
-    def _try_issue(self, warp: WarpContext) -> None:
+    def _warp_ready(self, warp: WarpContext) -> None:
+        """The warp's compute gap elapsed: queue it for the issue port."""
+        warp.ready_at = self._engine.now
+        self._ready.append(warp)
+        if not self._tick_armed:
+            self._arm_tick()
+
+    def _arm_tick(self) -> None:
+        """Schedule the SM's next issue-port tick (at port-free time)."""
+        self._tick_armed = True
         now = self._engine.now
-        if self._port_free_at > now:
-            # Coalescer port busy: retry when it frees.
-            self.warp_stall_cycles += self._port_free_at - now
-            self._engine.at(self._port_free_at, lambda w=warp: self._try_issue(w))
+        free = self._port_free_at
+        self._engine.at_call(free if free > now else now, self._tick_cb, None)
+
+    def _tick(self, _arg: object) -> None:
+        """One issue-port slot: drain the oldest ready warp through it."""
+        self._tick_armed = False
+        ready = self._ready
+        if not ready:
             return
+        now = self._engine.now
+        if self._port_free_at > now:  # pragma: no cover - defensive
+            self._arm_tick()
+            return
+        warp = ready.popleft()
+        self.warp_stall_cycles += now - warp.ready_at
         self._port_free_at = now + self._config.issue_interval
+        self._issue_op(warp)
+        # _issue_op may have re-armed already (a gap-0 warp re-readies
+        # synchronously via _issued -> _warp_ready); arming again here
+        # would stack duplicate ticks that then compound each slot.
+        if ready and not self._tick_armed:
+            self._arm_tick()
+
+    def _issue_op(self, warp: WarpContext) -> None:
+        """Issue the warp's next op through L1/MSHR/store logic."""
         self.instructions_issued += 1
         op = warp.op
-        line = int(warp.lines[op])
+        line = warp.lines[op]
         if warp.writes[op]:
             # Write-through store: the warp does not wait for DRAM, but
             # the slot is held until the store is *accepted* by its LLC
@@ -162,17 +211,13 @@ class SM:
             # therefore throttles write-heavy warps.
             self.l1.write_through(line)
             warp.outstanding += 1
-            self._send_write(
-                self, int(warp.slices[op]), line,
-                lambda w=warp: self._op_completed(w),
-            )
+            self._send_write(self, warp.slices[op], line, self._op_completed_cb, warp)
             self._issued(warp)
             return
-        if self.l1.probe(line):
-            self.l1.access(line, is_write=False)
+        if self.l1.try_read(line):
             warp.outstanding += 1
-            self._engine.after(
-                self._config.l1_latency, lambda w=warp: self._op_completed(w)
+            self._engine.after_call(
+                self._config.l1_latency, self._op_completed_cb, warp
             )
             self._issued(warp)
             return
@@ -188,11 +233,11 @@ class SM:
             self._send_read(MemRequest(
                 sm_id=self.sm_id,
                 line=line,
-                channel=int(warp.channels[op]),
-                bank=int(warp.banks[op]),
-                row=int(warp.rows[op]),
-                slice_id=int(warp.slices[op]),
-                issued_at=now,
+                channel=warp.channels[op],
+                bank=warp.banks[op],
+                row=warp.rows[op],
+                slice_id=warp.slices[op],
+                issued_at=self._engine.now,
             ))
         # MERGED: the in-flight fetch wakes this warp too.
         self._issued(warp)
@@ -236,12 +281,11 @@ class SM:
     def _try_issue_parked(self, warp: WarpContext) -> None:
         """Retry a warp that was parked on a full MSHR file."""
         op = warp.op
-        line = int(warp.lines[op])
-        if self.l1.probe(line):
-            self.l1.access(line, is_write=False)
+        line = warp.lines[op]
+        if self.l1.try_read(line):
             warp.outstanding += 1
-            self._engine.after(
-                self._config.l1_latency, lambda w=warp: self._op_completed(w)
+            self._engine.after_call(
+                self._config.l1_latency, self._op_completed_cb, warp
             )
             self._issued(warp)
             return
@@ -254,10 +298,10 @@ class SM:
             self._send_read(MemRequest(
                 sm_id=self.sm_id,
                 line=line,
-                channel=int(warp.channels[op]),
-                bank=int(warp.banks[op]),
-                row=int(warp.rows[op]),
-                slice_id=int(warp.slices[op]),
+                channel=warp.channels[op],
+                bank=warp.banks[op],
+                row=warp.rows[op],
+                slice_id=warp.slices[op],
                 issued_at=self._engine.now,
             ))
         self._issued(warp)

@@ -23,12 +23,30 @@ from ..workloads.base import TBTrace, WarpTrace
 __all__ = ["WarpContext", "TBContext"]
 
 
+def _as_list(values) -> list:
+    """Materialize a per-op field as a plain Python list.
+
+    The simulator indexes these one element at a time on its hottest
+    path; list indexing returns native ints/bools directly, where numpy
+    scalar extraction costs ~100ns per element.  The conversion is one
+    vectorized pass at TB-preparation time.
+    """
+    tolist = getattr(values, "tolist", None)
+    return tolist() if tolist is not None else list(values)
+
+
 class WarpContext:
-    """One warp's execution state: trace arrays + program counter."""
+    """One warp's execution state: trace arrays + program counter.
+
+    Per-op fields (``gaps``/``writes``/``lines``/...) are list-backed:
+    prepared once from the vectorized trace arrays, then indexed as
+    native Python scalars in the issue hot loop.
+    """
 
     __slots__ = (
         "tb", "warp_id", "gaps", "writes", "lines", "channels", "banks",
         "rows", "slices", "op", "n_ops", "outstanding", "issue_pending",
+        "ready_at",
     )
 
     def __init__(
@@ -44,17 +62,18 @@ class WarpContext:
     ) -> None:
         self.tb = tb
         self.warp_id = warp_id
-        self.gaps = trace.gaps
-        self.writes = trace.writes
-        self.lines = lines
-        self.channels = channels
-        self.banks = banks
-        self.rows = rows
-        self.slices = slices
+        self.gaps = _as_list(trace.gaps)
+        self.writes = _as_list(trace.writes)
+        self.lines = _as_list(lines)
+        self.channels = _as_list(channels)
+        self.banks = _as_list(banks)
+        self.rows = _as_list(rows)
+        self.slices = _as_list(slices)
         self.op = 0  # next op to issue
         self.n_ops = len(trace)
         self.outstanding = 0  # issued but not yet completed
         self.issue_pending = False  # an issue event is scheduled
+        self.ready_at = 0  # cycle the warp last became port-ready
 
     @property
     def issued_all(self) -> bool:

@@ -29,7 +29,9 @@ __all__ = ["RunConfig", "SweepGrid", "CACHE_SCHEMA_VERSION"]
 # the simulator alters what a given configuration computes (timing
 # model, scheduler behaviour, workload builders, ...): old cache
 # records then miss instead of serving stale numbers.
-CACHE_SCHEMA_VERSION = 1
+# v2: batched warp-issue engine (per-SM issue ticks + calendar event
+# queue) changed event interleaving, shifting figure tables slightly.
+CACHE_SCHEMA_VERSION = 2
 
 _MEMORIES = ("gddr5", "stacked")
 

@@ -4,16 +4,47 @@ A minimal, fast event engine: callbacks scheduled at integer cycle
 timestamps, executed in time order (FIFO among same-cycle events, by
 insertion sequence).  Every component of the GPU/DRAM model shares one
 engine, so "time" is globally consistent.
+
+Internally the queue is a hybrid calendar/bucket queue: events landing
+on the same cycle are appended to that cycle's FIFO bucket, and a heap
+orders only the *distinct* pending cycles.  A burst of N same-cycle
+events therefore costs N list appends plus one heap push, instead of N
+heap pushes of ``(time, seq, callback)`` tuples.
+
+Scheduling API contract
+-----------------------
+Two forms schedule work; both accept only integral times and preserve
+same-cycle FIFO order between each other:
+
+``at(time, callback)`` / ``after(delay, callback)``
+    The general form: *callback* is invoked with no arguments.  Use it
+    when a closure is natural or the call site is cold.
+
+``at_call(time, fn, arg)`` / ``after_call(delay, fn, arg)``
+    The closure-free fast path for hot components: *fn* is invoked as
+    ``fn(arg)``.  Callers pre-bind methods once (``self._cb =
+    self._tick``) and pass the varying state as *arg*, so scheduling an
+    event allocates no lambda and no bound method.  ``arg`` may be any
+    object, including ``None``.
+
+Times must be integral: an ``int``, or a float/numpy scalar whose value
+is a whole number (normalized to ``int``).  A fractional time raises
+:class:`SimulationError` instead of being silently truncated.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Engine", "SimulationError"]
 
 Callback = Callable[[], None]
+
+# Bucket slot marker for argument-less callbacks: buckets are flat
+# lists [fn0, arg0, fn1, arg1, ...] and _NO_ARG in the arg slot means
+# "call fn with no arguments".
+_NO_ARG = object()
 
 
 class SimulationError(RuntimeError):
@@ -35,9 +66,17 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0
-        self._sequence = 0
-        self._queue: List[Tuple[int, int, Callback]] = []
+        # Calendar queue state: bucket per pending cycle, heap of the
+        # distinct cycle numbers.  While a cycle's bucket is being
+        # drained it stays in _buckets (so same-cycle scheduling
+        # appends behind the cursor) but its time is off the heap.
+        self._buckets: Dict[int, List[Any]] = {}
+        self._times: List[int] = []
+        self._active_bucket: Optional[List[Any]] = None
+        self._active_index = 0
+        self._scheduled = 0
         self._events_processed = 0
+        self._running = False
 
     @property
     def now(self) -> int:
@@ -51,46 +90,131 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events not yet executed."""
-        return len(self._queue)
+        return self._scheduled - self._events_processed
 
-    def at(self, time: int, callback: Callback) -> None:
-        """Schedule *callback* at absolute cycle *time*."""
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _checked_time(self, time: Any) -> int:
+        """Normalize *time* to an int; reject fractional or bogus values."""
+        try:
+            itime = int(time)
+        except (TypeError, ValueError, OverflowError):
+            raise SimulationError(
+                f"event time must be an integral number, got {time!r}"
+            ) from None
+        if itime != time:
+            raise SimulationError(
+                f"event time must be integral, got {time!r}"
+            )
+        return itime
+
+    def _push(self, time: Any, fn: Callable[..., None], arg: Any) -> None:
+        if type(time) is not int:
+            time = self._checked_time(time)
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        heapq.heappush(self._queue, (int(time), self._sequence, callback))
-        self._sequence += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [fn, arg]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(fn)
+            bucket.append(arg)
+        self._scheduled += 1
+
+    def at(self, time: int, callback: Callback) -> None:
+        """Schedule *callback* (no arguments) at absolute cycle *time*."""
+        self._push(time, callback, _NO_ARG)
 
     def after(self, delay: int, callback: Callback) -> None:
         """Schedule *callback* *delay* cycles from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        self.at(self._now + delay, callback)
+        self._push(self._now + delay, callback, _NO_ARG)
 
+    def at_call(self, time: int, fn: Callable[[Any], None], arg: Any) -> None:
+        """Closure-free fast path: schedule ``fn(arg)`` at cycle *time*."""
+        self._push(time, fn, arg)
+
+    def after_call(self, delay: int, fn: Callable[[Any], None], arg: Any) -> None:
+        """Closure-free fast path: schedule ``fn(arg)`` *delay* cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self._push(self._now + delay, fn, arg)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Execute events until the queue drains (or limits hit).
 
         Returns the final simulation time.  *until* stops the clock at
-        a cycle bound; *max_events* guards against runaway models.
+        a cycle bound; *max_events* guards against runaway models.  The
+        budget is counted down in integers — no float arithmetic on the
+        hot path, and ``max_events=None`` means unlimited.
+
+        ``run`` is not re-entrant: the bucket drain cursor is engine
+        state, so calling ``run`` from inside a callback would replay
+        the current cycle's already-dispatched events.  Nested calls
+        raise :class:`SimulationError` instead.
         """
-        budget = max_events if max_events is not None else float("inf")
-        while self._queue:
-            time, _, callback = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            self._now = time
-            callback()
-            self._events_processed += 1
-            budget -= 1
-            if budget <= 0 and self._queue:
-                # Only a *pending* queue at exhaustion is an error: a
-                # model that finishes on exactly its last allowed event
-                # completed, it did not livelock.
-                raise SimulationError(
-                    f"exceeded max_events={max_events} (possible livelock) "
-                    f"at cycle {self._now}"
-                )
+        if self._running:
+            raise SimulationError("Engine.run() is not re-entrant")
+        budget = -1 if max_events is None else max_events
+        buckets = self._buckets
+        times = self._times
+        self._running = True
+        try:
+            while True:
+                bucket = self._active_bucket
+                if bucket is None:
+                    if not times:
+                        break
+                    time = times[0]
+                    if until is not None and time > until:
+                        if until > self._now:
+                            self._now = until
+                        break
+                    heapq.heappop(times)
+                    self._now = time
+                    bucket = buckets[time]
+                    self._active_bucket = bucket
+                    self._active_index = 0
+                i = self._active_index
+                try:
+                    # The bucket may grow while draining (same-cycle
+                    # scheduling from callbacks); re-checking len() each
+                    # iteration picks those up in FIFO order.
+                    while i < len(bucket):
+                        fn = bucket[i]
+                        arg = bucket[i + 1]
+                        i += 2
+                        self._events_processed += 1
+                        if arg is _NO_ARG:
+                            fn()
+                        else:
+                            fn(arg)
+                        if budget >= 0:
+                            budget -= 1
+                            if budget <= 0 and self._scheduled > self._events_processed:
+                                # Only a *pending* queue at exhaustion is an
+                                # error: a model that finishes on exactly its
+                                # last allowed event completed, it did not
+                                # livelock.
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events} (possible "
+                                    f"livelock) at cycle {self._now}"
+                                )
+                finally:
+                    # Persist the cursor so a propagating callback error
+                    # leaves the queue resumable (the failing event is
+                    # consumed, later events remain).
+                    self._active_index = i
+                del buckets[self._now]
+                self._active_bucket = None
+        finally:
+            self._running = False
         return self._now

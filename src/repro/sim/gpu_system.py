@@ -17,7 +17,10 @@ are prepared; this is exact because the BIM is stateless.  DRAM
 traffic is batched per cycle: LLC misses and writeback victims
 accumulate and are decoded, grouped per channel and scheduled by one
 FR-FCFS pass per controller per cycle instead of one Python event per
-request.
+request.  Warp issue is batched per SM the same way (one issue tick
+per port slot, see :mod:`repro.gpu.sm`), and all inter-component
+plumbing below schedules through the engine's closure-free
+``at_call``/``after_call`` fast path with pre-bound callbacks.
 
 Instrumentation captures everything the paper's evaluation plots:
 execution cycles, NoC packet latency (13a), LLC miss rate (13b),
@@ -125,6 +128,14 @@ class GPUSystem:
         self._kernels_pending: List[List[TBContext]] = []
         self._finished = False
 
+        # Pre-bound callbacks for the engine's closure-free scheduling
+        # fast path: no lambda or bound-method allocation per packet.
+        self._slice_on_read = [s.on_read for s in self.slices]
+        self._forward_read_cb = self._forward_read
+        self._deliver_fill_cb = self._deliver_fill
+        self._store_delivered_cb = self._store_delivered
+        self._flush_dram_cb = self._flush_dram_batch
+
         # Mapping/decoding cache for trace preparation.
         self._mapper_extra_latency = scheme.extra_latency_cycles
         self._slices_per_channel = max(1, self.config.llc_slices // self.timing.channels)
@@ -213,45 +224,46 @@ class GPUSystem:
     # Component plumbing
     # ------------------------------------------------------------------
     def _send_read(self, request: MemRequest) -> None:
-        """SM L1 miss -> request NoC -> LLC slice."""
+        """SM L1 miss -> (mapper latency) -> request NoC -> LLC slice."""
         self.llc_tracker.change(request.slice, +1, self.engine.now)
         delay = self._mapper_extra_latency
-        target_slice = self.slices[request.slice]
         if delay:
-            self.engine.after(delay, lambda: self.request_noc.send(
-                request.sm_id, request.slice, self.config.noc_control_flits,
-                lambda r=request: target_slice.on_read(r),
-            ))
+            self.engine.after_call(delay, self._forward_read_cb, request)
         else:
-            self.request_noc.send(
-                request.sm_id, request.slice, self.config.noc_control_flits,
-                lambda r=request: target_slice.on_read(r),
-            )
+            self._forward_read(request)
 
-    def _send_write(self, sm: SM, slice_id: int, line: int, on_accepted) -> None:
+    def _forward_read(self, request: MemRequest) -> None:
+        self.request_noc.send(
+            request.sm_id, request.slice, self.config.noc_control_flits,
+            self._slice_on_read[request.slice], request,
+        )
+
+    def _send_write(self, sm: SM, slice_id: int, line: int, on_accepted, arg) -> None:
         """SM write-through store -> request NoC (data packet) -> slice.
 
-        *on_accepted* fires at delivery, releasing the issuing warp
-        (store-queue backpressure through the congested port).
+        ``on_accepted(arg)`` fires at delivery, releasing the issuing
+        warp (store-queue backpressure through the congested port).
         """
-        target_slice = self.slices[slice_id]
-
-        def delivered(l=line):
-            target_slice.on_write(l)
-            on_accepted()
-
         self.request_noc.send(
-            sm.sm_id, slice_id, self.config.data_packet_flits, delivered
+            sm.sm_id, slice_id, self.config.data_packet_flits,
+            self._store_delivered_cb, (slice_id, line, on_accepted, arg),
         )
+
+    def _store_delivered(self, payload) -> None:
+        slice_id, line, on_accepted, arg = payload
+        self.slices[slice_id].on_write(line)
+        on_accepted(arg)
 
     def _send_response(self, request: MemRequest) -> None:
         """LLC -> response NoC -> SM fill."""
         self.llc_tracker.change(request.slice, -1, self.engine.now)
-        sm = self.sms[request.sm_id]
         self.response_noc.send(
             request.slice, request.sm_id, self.config.data_packet_flits,
-            lambda r=request: sm.on_fill(r.line),
+            self._deliver_fill_cb, request,
         )
+
+    def _deliver_fill(self, request: MemRequest) -> None:
+        self.sms[request.sm_id].on_fill(request.line)
 
     def _submit_dram_read(self, request: MemRequest) -> None:
         self._dram_reads_pending.append(request)
@@ -265,7 +277,7 @@ class GPUSystem:
     def _schedule_dram_flush(self) -> None:
         if not self._dram_flush_scheduled:
             self._dram_flush_scheduled = True
-            self.engine.at(self.engine.now, self._flush_dram_batch)
+            self.engine.at(self.engine.now, self._flush_dram_cb)
 
     def _flush_dram_batch(self) -> None:
         """Hand this cycle's accumulated DRAM traffic to the controllers.

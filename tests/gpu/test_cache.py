@@ -44,6 +44,38 @@ class TestBasics:
             SetAssociativeCache(4, 2, 100)  # not a power of two
 
 
+class TestTryRead:
+    def test_miss_counts_and_allocates_nothing(self):
+        c = cache()
+        assert not c.try_read(0x1000)
+        assert c.resident_lines() == 0
+        assert c.stats.accesses == 0  # caller records the miss
+
+    def test_hit_counts_and_refreshes_lru(self):
+        c = cache(sets=1, ways=2)
+        c.fill(0x0000)
+        c.fill(0x1000)
+        assert c.try_read(0x0000)  # refresh: 0x1000 is now LRU
+        assert c.stats.read_hits == 1
+        c.fill(0x2000)
+        assert c.probe(0x0000)
+        assert not c.probe(0x1000)
+
+    def test_equivalent_to_probe_then_access(self):
+        """try_read == probe() + access-on-hit, in one set lookup."""
+        a, b = cache(), cache()
+        for c in (a, b):
+            c.fill(0x1000)
+            c.fill(0x3000)
+        for addr in (0x1000, 0x2000, 0x1000, 0x3000, 0x4000):
+            expected = a.probe(addr)
+            if expected:
+                a.access(addr, is_write=False)
+            assert b.try_read(addr) == expected
+        assert a.stats.read_hits == b.stats.read_hits == 3
+        assert a.resident_lines() == b.resident_lines()
+
+
 class TestLRU:
     def test_lru_eviction_order(self):
         c = cache(sets=1, ways=2)

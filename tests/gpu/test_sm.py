@@ -32,7 +32,9 @@ class Harness:
         self.sm = SM(
             self.engine, self.config, 0,
             send_read=self.reads.append,
-            send_write=lambda sm, sl, line, done: self.writes.append((line, done)),
+            send_write=lambda sm, sl, line, fn, arg: self.writes.append(
+                (line, lambda: fn(arg))
+            ),
         )
         self.done_tbs = []
         self.sm.on_tb_done = self.done_tbs.append

@@ -25,7 +25,7 @@ class Harness:
         self.sms = [
             SM(self.engine, config, i,
                send_read=lambda r: self.pending_fills.append(r),
-               send_write=lambda sm, sl, l, done: done())
+               send_write=lambda sm, sl, l, fn, arg: fn(arg))
             for i in range(n_sms)
         ]
         self.kernels_done = 0

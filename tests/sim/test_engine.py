@@ -67,6 +67,90 @@ class TestOrdering:
         assert fired == ["early", "late"]
 
 
+class TestClosureFreeScheduling:
+    def test_at_call_passes_arg(self):
+        engine = Engine()
+        fired = []
+        engine.at_call(4, fired.append, "payload")
+        engine.run()
+        assert fired == ["payload"]
+        assert engine.now == 4
+
+    def test_after_call_is_relative(self):
+        engine = Engine()
+        fired = []
+        engine.at(10, lambda: engine.after_call(5, fired.append, engine.now))
+        engine.run()
+        assert fired == [10]
+        assert engine.now == 15
+
+    def test_none_is_a_valid_arg(self):
+        engine = Engine()
+        fired = []
+        engine.at_call(1, fired.append, None)
+        engine.run()
+        assert fired == [None]
+
+    def test_fifo_order_interleaves_both_forms(self):
+        """at() and at_call() events on one cycle share one FIFO."""
+        engine = Engine()
+        fired = []
+        engine.at(3, lambda: fired.append("a"))
+        engine.at_call(3, fired.append, "b")
+        engine.at(3, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_after_call_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            Engine().after_call(-1, print, None)
+
+
+class TestTimeValidation:
+    def test_whole_float_times_are_normalized(self):
+        engine = Engine()
+        fired = []
+        engine.at(10.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [10]
+        assert isinstance(engine.now, int)
+
+    def test_fractional_time_raises_instead_of_truncating(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="integral"):
+            engine.at(10.5, lambda: None)
+        assert engine.pending == 0
+
+    def test_fractional_delay_raises(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="integral"):
+            engine.after(0.25, lambda: None)
+
+    def test_fractional_at_call_raises(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="integral"):
+            engine.at_call(3.7, print, None)
+
+    def test_non_numeric_time_raises_simulation_error(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="integral"):
+            engine.at("soon", lambda: None)
+
+    def test_nan_and_inf_rejected(self):
+        engine = Engine()
+        for bogus in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError, match="integral"):
+                engine.at(bogus, lambda: None)
+
+    def test_numpy_integral_scalar_accepted(self):
+        np = pytest.importorskip("numpy")
+        engine = Engine()
+        fired = []
+        engine.at(np.int64(7), lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [7]
+
+
 class TestLimits:
     def test_until_stops_clock(self):
         engine = Engine()
@@ -134,6 +218,47 @@ class TestLimits:
     def test_negative_delay_rejected(self):
         with pytest.raises(SimulationError):
             Engine().after(-1, lambda: None)
+
+    def test_queue_resumable_after_callback_error(self):
+        """A propagating callback error consumes only the failing
+        event; the rest of the cycle's FIFO survives and a later run()
+        picks up exactly where the engine stopped."""
+        engine = Engine()
+        fired = []
+
+        def boom():
+            raise ValueError("model bug")
+
+        engine.at(5, lambda: fired.append("before"))
+        engine.at(5, boom)
+        engine.at(5, lambda: fired.append("after"))
+        with pytest.raises(ValueError, match="model bug"):
+            engine.run()
+        assert fired == ["before"]
+        assert engine.pending == 1
+        engine.run()
+        assert fired == ["before", "after"]
+        assert engine.pending == 0
+
+    def test_nested_run_rejected(self):
+        """run() is not re-entrant (the drain cursor is engine state);
+        a callback that calls run() gets a clear error instead of
+        silently replaying the current cycle."""
+        engine = Engine()
+        errors = []
+
+        def nested():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        fired = []
+        engine.at(1, nested)
+        engine.at(1, lambda: fired.append("after"))
+        engine.run()
+        assert errors and "re-entrant" in errors[0]
+        assert fired == ["after"]  # outer run continues normally
 
     def test_events_processed_counter(self):
         engine = Engine()
