@@ -14,7 +14,8 @@ Environment knobs:
   when set, re-running the bench suite serves every unchanged run
   from disk (see :mod:`repro.runner`).
 * ``REPRO_BENCH_WORKERS`` — worker processes for sweep execution
-  (default 1 = serial in-process).
+  (falls back to ``REPRO_WORKERS``, the runner-wide fan-out cap;
+  default 1 = serial in-process).
 """
 
 import os
@@ -28,7 +29,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 MAIN_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 SENSITIVITY_SCALE = 0.5 * MAIN_SCALE
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
-BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS")
+    or os.environ.get("REPRO_WORKERS")
+    or "1"
+)
 # Fig. 18/19 sweep a representative slice of the valley suite to keep
 # the sensitivity matrices tractable.
 SENSITIVITY_BENCHMARKS = ("MT", "LU", "SC", "SRAD2", "SP")

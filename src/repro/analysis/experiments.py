@@ -25,7 +25,11 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.address_map import AddressMap
-from ..core.entropy import EntropyProfile, application_entropy_profile
+from ..core.entropy import (
+    EntropyProfile,
+    application_entropy_profile,
+    translate_kernel_inputs,
+)
 from ..core.schemes import SCHEME_NAMES, MappingScheme
 from ..runner.config import RunConfig
 from ..runner.sweep import SweepRunner
@@ -129,10 +133,11 @@ class ExperimentRunner:
         w = window if window is not None else self.window
         workload = self.workload(benchmark)
         scheme = self.scheme(scheme_name, seed=seed)
-        kernels = []
-        for tb_arrays, weight in workload.entropy_kernel_inputs():
-            mapped = [np.atleast_1d(scheme.map(a)) for a in tb_arrays]
-            kernels.append((mapped, weight))
+        # One batched GF(2) product over the whole trace instead of one
+        # matrix application per Thread Block.
+        kernels = translate_kernel_inputs(
+            workload.entropy_kernel_inputs(), scheme.bim.matrix
+        )
         return application_entropy_profile(
             kernels, self.address_map("gddr5"), w,
             label=f"{benchmark}/{scheme_name}",

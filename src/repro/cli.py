@@ -16,6 +16,16 @@ Commands
     the parallel sweep runner and emit a machine-readable JSON report.
     Results are cached on disk, so re-runs are near-instant; the JSON
     is byte-identical regardless of worker count or cache state.
+    ``--shard I/N`` runs one deterministic slice of the grid (for
+    distributing a sweep over N machines sharing a cache directory)
+    and emits a partial shard report instead.
+``merge``
+    Combine N shard reports — or a shared cache directory plus the
+    grid flags — into a full report byte-identical to an unsharded
+    ``repro sweep`` of the same grid.
+``cache``
+    Inspect (``ls``) or evict stale schema versions from (``prune``)
+    an on-disk result cache.
 ``export-scheme``
     Serialize a scheme's BIM to JSON (for RTL generators / configs).
 
@@ -28,12 +38,17 @@ Examples
     python -m repro entropy MT
     python -m repro simulate SRAD2 --schemes BASE,PM,PAE --scale 0.5
     python -m repro sweep --benchmarks MT,SP --schemes BASE,PAE -o report.json
+    python -m repro sweep --shard 1/4 --cache-dir /shared -o shard1.json
+    python -m repro merge shard*.json -o report.json
+    python -m repro cache ls --cache-dir .repro-cache
+    python -m repro cache prune --schema-version 1 --cache-dir .repro-cache
     python -m repro export-scheme PAE --seed 1 -o pae.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -45,10 +60,17 @@ from .core import SCHEME_NAMES, build_scheme, find_entropy_valleys, hynix_gddr5_
 from .core.entropy import application_entropy_profile
 from .core.serialize import dump_scheme
 from .runner import (
+    CACHE_SCHEMA_VERSION,
+    MergeError,
+    ResultCache,
+    ShardSpec,
     SweepGrid,
     SweepRunner,
     default_workers,
+    merge_shard_reports,
     render_report,
+    report_from_cache,
+    shard_report,
     sweep_report,
 )
 from .sim.gpu_system import simulate
@@ -145,46 +167,160 @@ def _parse_names(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _grid_from_args(args) -> SweepGrid:
+    """Build (and eagerly validate) the sweep grid the flags describe."""
+    grid = SweepGrid(
+        benchmarks=tuple(_parse_names(args.benchmarks)),
+        schemes=tuple(s.upper() for s in args.schemes.split(",") if s.strip()),
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        n_sms=tuple(int(n) for n in args.n_sms.split(",")),
+        memories=tuple(m.strip() for m in args.memories.split(",")),
+        scale=args.scale,
+        window=args.window,
+    )
+    grid.configs()  # validates every axis value before any work
+    return grid
+
+
+def _write_report(text: str, output: str) -> None:
+    if output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {output}", file=sys.stderr)
+
+
+def _progress_printer():
+    """Stderr progress callback: executed count, elapsed, estimate-based ETA."""
+    def emit(progress) -> None:
+        print(
+            f"\r[{progress.done}/{progress.total} executed] "
+            f"{progress.elapsed_seconds:.0f}s elapsed, "
+            f"eta {progress.eta_seconds:.0f}s ",
+            end="", file=sys.stderr, flush=True,
+        )
+    return emit
+
+
 def _cmd_sweep(args) -> int:
     try:
-        grid = SweepGrid(
-            benchmarks=tuple(_parse_names(args.benchmarks)),
-            schemes=tuple(s.upper() for s in args.schemes.split(",") if s.strip()),
-            seeds=tuple(int(s) for s in args.seeds.split(",")),
-            n_sms=tuple(int(n) for n in args.n_sms.split(",")),
-            memories=tuple(m.strip() for m in args.memories.split(",")),
-            scale=args.scale,
-            window=args.window,
-        )
-        grid.configs()  # validates every axis value before any work
+        grid = _grid_from_args(args)
+        shard = ShardSpec.parse(args.shard) if args.shard else None
+        workers = args.workers if args.workers > 0 else default_workers()
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    workers = args.workers if args.workers > 0 else default_workers()
     runner = SweepRunner(
         workers=workers,
         cache_dir=args.cache_dir if args.cache_dir else None,
+        claims=args.claims,
+        progress=_progress_printer() if args.progress else None,
     )
     started = time.perf_counter()
-    report = sweep_report(grid, runner)
-    elapsed = time.perf_counter() - started
-    text = render_report(report)
-    if args.output == "-":
-        sys.stdout.write(text)
+    if shard is not None:
+        report = shard_report(grid, shard, runner)
     else:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        report = sweep_report(grid, runner)
+    elapsed = time.perf_counter() - started
+    if args.progress:
+        print(file=sys.stderr)  # terminate the \r progress line
+    _write_report(render_report(report), args.output)
     # Accounting goes to stderr only: the JSON must stay byte-identical
     # across worker counts and cache states.
     stats = runner.stats
+    slice_note = f" [shard {shard}]" if shard is not None else ""
     print(
-        f"{stats.requested} runs: {stats.cache_hits} cache hits, "
+        f"{stats.requested} runs{slice_note}: {stats.cache_hits} cache hits, "
         f"{stats.memory_hits} memo hits, {stats.executed} executed "
         f"({elapsed:.2f}s, {workers} worker(s))",
         file=sys.stderr,
     )
-    if args.output != "-":
-        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    try:
+        if args.shard_reports:
+            reports = []
+            for path in args.shard_reports:
+                with open(path) as handle:
+                    reports.append(json.load(handle))
+            merged = merge_shard_reports(reports)
+        elif args.cache_dir:
+            grid = _grid_from_args(args)
+            merged = report_from_cache(grid, ResultCache(args.cache_dir))
+        else:
+            print(
+                "error: give shard report files, or --cache-dir plus the "
+                "grid flags", file=sys.stderr,
+            )
+            return 2
+    except (MergeError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _write_report(render_report(merged), args.output)
+    print(f"merged {len(merged['runs'])} runs", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_ls(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    entries = cache.entries()
+    by_schema = {}
+    for entry in entries:
+        by_schema.setdefault(entry.schema, []).append(entry)
+    rows = []
+    for schema in sorted(by_schema, key=lambda s: (s is None, s)):
+        group = by_schema[schema]
+        walls = [e.wall_seconds for e in group if e.wall_seconds is not None]
+        rows.append([
+            "?" if schema is None else str(schema),
+            len(group),
+            sum(e.size_bytes for e in group),
+            f"{sum(walls):.1f}" if walls else "-",
+            f"{sum(walls) / len(walls):.2f}" if walls else "-",
+            "current" if schema == CACHE_SCHEMA_VERSION else "stale",
+        ])
+    print(format_table(
+        ["schema", "entries", "bytes", "wall total (s)", "wall mean (s)", ""],
+        rows,
+    ))
+    print(
+        f"\n{len(entries)} records under {cache.root} "
+        f"(current schema: {CACHE_SCHEMA_VERSION})"
+    )
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    versions = []
+    for chunk in args.schema_version:
+        for part in chunk.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                versions.append(int(part))
+            except ValueError:
+                print(f"error: bad schema version {part!r}", file=sys.stderr)
+                return 2
+    if not versions and not args.stale:
+        print(
+            "error: nothing to prune — pass --schema-version N and/or --stale",
+            file=sys.stderr,
+        )
+        return 2
+    if CACHE_SCHEMA_VERSION in versions:
+        print(
+            f"error: refusing to prune the current schema version "
+            f"({CACHE_SCHEMA_VERSION}); delete the cache dir if you mean it",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir)
+    removed, kept = cache.prune(schema_versions=versions, stale=args.stale)
+    print(f"pruned {removed} record(s), kept {kept} ({cache.root})")
     return 0
 
 
@@ -227,37 +363,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
 
+    def add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--benchmarks", default="valley",
+            help="comma-separated names, or 'valley' / 'all' (default: valley)",
+        )
+        p.add_argument(
+            "--schemes", default=",".join(SCHEME_NAMES),
+            help="comma-separated scheme names (BASE is always added)",
+        )
+        p.add_argument("--seeds", default="0", help="comma-separated BIM seeds")
+        p.add_argument("--n-sms", default="12", help="comma-separated SM counts")
+        p.add_argument(
+            "--memories", default="gddr5", help="comma-separated: gddr5,stacked"
+        )
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--window", type=int, default=12)
+
     p = sub.add_parser(
         "sweep", help="run a benchmark x scheme grid, emit a JSON report"
     )
-    p.add_argument(
-        "--benchmarks", default="valley",
-        help="comma-separated names, or 'valley' / 'all' (default: valley)",
-    )
-    p.add_argument(
-        "--schemes", default=",".join(SCHEME_NAMES),
-        help="comma-separated scheme names (BASE is always added)",
-    )
-    p.add_argument("--seeds", default="0", help="comma-separated BIM seeds")
-    p.add_argument("--n-sms", default="12", help="comma-separated SM counts")
-    p.add_argument(
-        "--memories", default="gddr5", help="comma-separated: gddr5,stacked"
-    )
-    p.add_argument("--scale", type=float, default=0.5)
-    p.add_argument("--window", type=int, default=12)
+    add_grid_args(p)
     p.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes; 0 = one per CPU (default: 1)",
+        help="worker processes; 0 = one per CPU or $REPRO_WORKERS (default: 1)",
     )
     p.add_argument(
         "--cache-dir", default=".repro-cache",
         help="on-disk result cache; pass '' to disable (default: .repro-cache)",
     )
     p.add_argument(
+        "--shard", default="",
+        help="run only shard I/N of the grid (1-based, e.g. 2/4) and emit "
+             "a partial report for 'repro merge'",
+    )
+    p.add_argument(
+        "--claims", action="store_true",
+        help="use cache claim files so concurrent sweeps sharing the cache "
+             "dir never double-run a config",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="report live executed-count / ETA on stderr",
+    )
+    p.add_argument(
         "-o", "--output", default="-",
         help="report path, or - for stdout (default: -)",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "merge",
+        help="combine shard reports (or a shared cache dir) into a full report",
+    )
+    p.add_argument(
+        "shard_reports", nargs="*",
+        help="partial reports written by 'repro sweep --shard I/N'",
+    )
+    p.add_argument(
+        "--cache-dir", default="",
+        help="merge straight from a shared result cache instead of shard "
+             "files (requires the grid flags to match the original sweep)",
+    )
+    add_grid_args(p)
+    p.add_argument(
+        "-o", "--output", default="-",
+        help="report path, or - for stdout (default: -)",
+    )
+    p.set_defaults(func=_cmd_merge)
+
+    p = sub.add_parser("cache", help="inspect or prune an on-disk result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    p_ls = cache_sub.add_parser(
+        "ls", help="summarize cache entries by schema version"
+    )
+    p_ls.add_argument("--cache-dir", default=".repro-cache")
+    p_ls.set_defaults(func=_cmd_cache_ls)
+    p_prune = cache_sub.add_parser(
+        "prune", help="evict records from stale cache schema versions"
+    )
+    p_prune.add_argument("--cache-dir", default=".repro-cache")
+    p_prune.add_argument(
+        "--schema-version", action="append", default=[],
+        help="schema version(s) to evict (repeatable or comma-separated)",
+    )
+    p_prune.add_argument(
+        "--stale", action="store_true",
+        help="evict everything not produced by the current schema version",
+    )
+    p_prune.set_defaults(func=_cmd_cache_prune)
 
     p = sub.add_parser("export-scheme", help="serialize a scheme to JSON")
     p.add_argument("scheme", choices=SCHEME_NAMES)

@@ -31,9 +31,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .address_map import AddressMap
+from .gf2 import gf2_matvec_batch
 
 __all__ = [
     "EntropyProfile",
+    "translate_kernel_inputs",
     "bit_value_ratios",
     "window_entropy",
     "entropy_of_bvr_window",
@@ -44,6 +46,38 @@ __all__ = [
     "find_entropy_valleys",
     "has_parallel_bit_valley",
 ]
+
+
+def translate_kernel_inputs(kernels, matrix):
+    """Map every address of every kernel through a GF(2) matrix at once.
+
+    *kernels* has the :meth:`~repro.workloads.base.Workload.entropy_kernel_inputs`
+    shape — ``(tb_address_arrays, weight)`` pairs.  The whole trace
+    (all TBs of all kernels) is concatenated, translated in a single
+    :func:`~repro.core.gf2.gf2_matvec_batch` call, and split back, so a
+    mapped entropy profile (paper Fig. 10) costs one numpy product
+    instead of one matrix application per Thread Block.  Weights and
+    TB boundaries are preserved.
+    """
+    arrays = []
+    shapes = []  # (n_tbs, [lengths...], weight) per kernel
+    for tb_arrays, weight in kernels:
+        tbs = [np.atleast_1d(np.asarray(a, dtype=np.uint64)) for a in tb_arrays]
+        arrays.extend(tbs)
+        shapes.append(([a.size for a in tbs], weight))
+    if not arrays:
+        return [([], weight) for _, weight in shapes]
+    flat = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+    mapped = gf2_matvec_batch(matrix, flat)
+    out = []
+    offset = 0
+    for lengths, weight in shapes:
+        tbs = []
+        for length in lengths:
+            tbs.append(mapped[offset:offset + length])
+            offset += length
+        out.append((tbs, weight))
+    return out
 
 
 def _address_bits(addresses: np.ndarray, width: int) -> np.ndarray:

@@ -23,6 +23,7 @@ __all__ = [
     "is_gf2",
     "gf2_matmul",
     "gf2_matvec",
+    "gf2_matvec_batch",
     "gf2_rank",
     "gf2_inverse",
     "gf2_solve",
@@ -86,6 +87,49 @@ def gf2_matvec(matrix, vector) -> np.ndarray:
             )
         return (m.astype(np.int64) @ v.astype(np.int64) % 2).astype(np.uint8)
     return gf2_matmul(m, v)
+
+
+def gf2_matvec_batch(matrix, addresses) -> np.ndarray:
+    """Apply one GF(2) matrix to a whole array of integer addresses.
+
+    *matrix* has shape ``(m, n)``; *addresses* is a 1-D array of
+    unsigned integers, each interpreted as an n-component GF(2) vector
+    (bit *j* of the address = component *j*).  The result is a
+    ``uint64`` array of the mapped addresses (bit *i* = output
+    component *i*), computed as one broadcasted ``uint8`` matmul
+    reduced modulo 2 — no per-address Python work.
+
+    This is the batch companion of :func:`gf2_matvec`: exploding each
+    address into its bit vector, multiplying, and repacking gives
+    exactly ``gf2_matvec(matrix, bits(a))`` for every element.  Both
+    dimensions are capped at 64 so addresses pack into ``uint64`` and
+    the ``uint8`` accumulation (row sums of at most 64) cannot wrap.
+    """
+    m = as_gf2(matrix)
+    if m.ndim != 2:
+        raise GF2Error(f"matrix must be 2-D, got shape {m.shape}")
+    out_width, in_width = m.shape
+    if in_width > 64 or out_width > 64:
+        raise GF2Error(
+            f"gf2_matvec_batch supports at most 64-bit addresses, "
+            f"got matrix shape {m.shape}"
+        )
+    addr = np.atleast_1d(np.asarray(addresses, dtype=np.uint64))
+    if addr.ndim != 1:
+        raise GF2Error(f"addresses must be one-dimensional, got shape {addr.shape}")
+    if addr.size == 0:
+        return addr.copy()
+    if in_width < 64 and int(addr.max()) >> in_width:
+        raise GF2Error(
+            f"address 0x{int(addr.max()):x} does not fit in {in_width} bits"
+        )
+    in_shifts = np.arange(in_width, dtype=np.uint64)
+    bits = ((addr[:, np.newaxis] >> in_shifts) & np.uint64(1)).astype(np.uint8)
+    # uint8 matmul accumulates modulo 256; row sums are <= 64, so the
+    # accumulation is exact and `& 1` is the mod-2 reduction.
+    out_bits = (bits @ m.T) & np.uint8(1)
+    out_weights = np.uint64(1) << np.arange(out_width, dtype=np.uint64)
+    return (out_bits.astype(np.uint64) * out_weights).sum(axis=1, dtype=np.uint64)
 
 
 def _row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:

@@ -2,9 +2,11 @@
 
 This package turns the per-figure ad-hoc sweeps of
 :mod:`repro.analysis.experiments` into a subsystem: a declarative run
-grid, a process-pool executor, and a content-addressed cache, shared
-by the Python API (:class:`~repro.analysis.experiments.ExperimentRunner`),
-the ``repro sweep`` CLI subcommand, and the benchmark harness.
+grid, a process-pool executor, a content-addressed cache, and a
+deterministic shard partitioner, shared by the Python API
+(:class:`~repro.analysis.experiments.ExperimentRunner`), the ``repro
+sweep`` / ``repro merge`` / ``repro cache`` CLI subcommands, and the
+benchmark harness.
 
 Quick start
 -----------
@@ -23,11 +25,20 @@ or from the shell::
     repro sweep --benchmarks MT,SP --schemes BASE,PAE --scale 0.5 \
         --workers 4 -o report.json
 
+and distributed over N machines sharing a cache directory::
+
+    repro sweep --shard 1/4 --cache-dir /shared/cache -o shard1.json
+    ...
+    repro sweep --shard 4/4 --cache-dir /shared/cache -o shard4.json
+    repro merge shard1.json shard2.json shard3.json shard4.json -o report.json
+
 Cache layout
 ------------
 ``cache_dir`` holds one JSON record per completed run::
 
     <cache_dir>/<hh>/<sha256-of-config>.json
+    <cache_dir>/<hh>/<sha256-of-config>.meta.json   # runtime sidecar
+    <cache_dir>/<hh>/<sha256-of-config>.claim       # transient claim
 
 where ``hh`` is the first two hex characters of the key (a fan-out
 directory so no single directory grows huge).  The key is a SHA-256
@@ -42,16 +53,26 @@ atomically (temp file + rename); unreadable or truncated records are
 deleted and recomputed, never trusted.  The cache may be shared
 between concurrent processes.
 
+The ``.meta.json`` sidecar records wall seconds, engine event count
+and the schema version of each run; it feeds longest-job-first
+scheduling, progress/ETA reporting and ``repro cache ls / prune``, and
+is never required for correctness.  ``.claim`` markers implement the
+optional work-claim protocol (see :mod:`repro.runner.cache`).
+
 Worker configuration
 --------------------
 ``SweepRunner(workers=N)`` executes cache misses on a
 ``ProcessPoolExecutor`` with ``N`` workers; ``workers=1`` (the
 default) runs inline in the calling process with no pool overhead.
-``repro sweep --workers 0`` picks one worker per CPU
-(:func:`~repro.runner.sweep.default_workers`).  Each worker process
-keeps a :class:`~repro.runner.worker.RunContext` that memoizes
-workloads, schemes and the RMP suite entropy profile across the tasks
-it serves, so per-task setup cost amortizes away on large grids.
+``repro sweep --workers 0`` picks :func:`~repro.runner.sweep.default_workers`
+— the ``REPRO_WORKERS`` environment variable when set, else one worker
+per CPU.  Each worker process keeps a
+:class:`~repro.runner.worker.RunContext` that memoizes workloads,
+schemes and the RMP suite entropy profile across the tasks it serves,
+so per-task setup cost amortizes away on large grids.  Misses are
+dispatched longest-job-first in batched futures (see
+:mod:`repro.runner.sweep`); pass ``schedule="fifo"`` to A/B the old
+submission order.
 
 Determinism guarantees
 ----------------------
@@ -60,31 +81,68 @@ Determinism guarantees
 * ``run_many`` returns results in **input order**, not completion
   order, and grids expand in a fixed documented order (benchmarks
   outermost, then schemes / seeds / SM counts / memories).
+  Longest-job-first scheduling and claim stealing only reorder
+  *execution*, never output.
+* Shard partitions (:class:`~repro.runner.shard.ShardSpec`) are
+  pairwise disjoint, cover the grid, and are stable across
+  re-invocations; ``repro merge`` rebuilds the full report through the
+  same code path as a single-machine sweep, so the bytes match.
 * Sweep reports contain no environmental data (timestamps, hosts,
   worker counts, cache hit rates) and are rendered with sorted keys —
   so the same grid yields byte-identical JSON for 1 worker or N,
-  cold or warm.
+  cold or warm, sharded or whole.
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheEntry, CacheStats, ResultCache
 from .config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
-from .report import REPORT_FORMAT, render_report, sweep_report
-from .sweep import SweepRunner, SweepStats, default_workers
-from .worker import RunContext, execute_config, process_context
+from .report import (
+    MergeError,
+    REPORT_FORMAT,
+    SHARD_FORMAT,
+    merge_shard_reports,
+    render_report,
+    report_from_cache,
+    report_from_results,
+    shard_report,
+    sweep_report,
+)
+from .shard import ShardSpec, shard_owner
+from .sweep import (
+    SweepProgress,
+    SweepRunner,
+    SweepStats,
+    default_workers,
+    estimate_runtimes,
+    plan_buckets,
+)
+from .worker import RunContext, execute_config, execute_config_batch, process_context
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
     "CacheStats",
+    "MergeError",
     "REPORT_FORMAT",
     "ResultCache",
     "RunConfig",
     "RunContext",
+    "SHARD_FORMAT",
+    "ShardSpec",
     "SweepGrid",
+    "SweepProgress",
     "SweepRunner",
     "SweepStats",
     "default_workers",
+    "estimate_runtimes",
     "execute_config",
+    "execute_config_batch",
+    "merge_shard_reports",
+    "plan_buckets",
     "process_context",
     "render_report",
+    "report_from_cache",
+    "report_from_results",
+    "shard_owner",
+    "shard_report",
     "sweep_report",
 ]

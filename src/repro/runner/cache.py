@@ -3,14 +3,24 @@
 Layout (under the cache root)::
 
     <root>/
-      <hh>/<full-64-hex-hash>.json     # hh = first two hash chars
+      <hh>/<full-64-hex-hash>.json        # hh = first two hash chars
+      <hh>/<full-64-hex-hash>.meta.json   # runtime metadata sidecar
+      <hh>/<full-64-hex-hash>.claim       # transient work claim
 
-Each record is one JSON object::
+Each result record is one JSON object::
 
     {
       "config": {...RunConfig.to_dict()...},
       "result": {...SimulationResult.to_dict()...}
     }
+
+The **metadata sidecar** is advisory: it records how the result was
+produced (wall seconds, engine events, the ``CACHE_SCHEMA_VERSION`` it
+was computed under, and the config axes that predict runtime) so the
+sweep runner can schedule cold configs longest-job-first and ``repro
+cache ls / prune`` can report and evict by schema version.  Results
+are always correct without sidecars — a missing or corrupt sidecar
+only degrades scheduling back to static estimates.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
 sweep can never leave a half-written record behind; a record that is
@@ -20,23 +30,34 @@ in :attr:`CacheStats.corrupt` — the run is simply recomputed.
 
 The cache is safe for concurrent use by multiple processes: records
 are immutable once written (content-addressed by the config hash), and
-the atomic rename makes racing writers idempotent.
+the atomic rename makes racing writers idempotent.  **Claim files**
+(:meth:`ResultCache.try_claim`) let concurrent sweeps additionally
+avoid duplicating work: a process that fails to create the claim knows
+a peer is already computing that key and may poll for the record
+instead of re-running it.  Claims are purely an optimization — stale
+claims (dead peers) are detected by age and broken, and correctness
+never depends on them.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.serialize import canonical_json
+from ..core.serialize import canonical_json, stable_hash
 from ..sim.results import SimulationResult
-from .config import RunConfig
+from .config import CACHE_SCHEMA_VERSION, RunConfig
 
-__all__ = ["ResultCache", "CacheStats"]
+__all__ = ["ResultCache", "CacheStats", "CacheEntry"]
+
+_META_SUFFIX = ".meta.json"
+_CLAIM_SUFFIX = ".claim"
 
 
 @dataclass
@@ -57,6 +78,34 @@ class CacheStats:
         }
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One record as seen by ``repro cache ls`` (metadata may be absent)."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    schema: Optional[int]
+    wall_seconds: Optional[float]
+    benchmark: Optional[str]
+    scheme: Optional[str]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 class ResultCache:
     """JSON result records keyed by the stable config hash."""
 
@@ -69,53 +118,267 @@ class ResultCache:
         """On-disk location of the record for cache key *key*."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, config: RunConfig) -> Optional[SimulationResult]:
-        """Look up *config*; None on miss.  Corrupt records self-heal."""
-        path = self.path_for(config.config_hash())
+    def meta_path_for(self, key: str) -> Path:
+        """On-disk location of the runtime-metadata sidecar for *key*."""
+        return self.root / key[:2] / f"{key}{_META_SUFFIX}"
+
+    def claim_path_for(self, key: str) -> Path:
+        """On-disk location of the work-claim file for *key*."""
+        return self.root / key[:2] / f"{key}{_CLAIM_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def _load(self, path: Path) -> Optional[SimulationResult]:
+        """Read one record; None if absent; self-heal corrupt records."""
         try:
             with open(path) as handle:
                 record = json.load(handle)
-            result = SimulationResult.from_dict(record["result"])
+            return SimulationResult.from_dict(record["result"])
         except FileNotFoundError:
-            self.stats.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
             # Unreadable or malformed record: drop it and recompute.
             self.stats.corrupt += 1
-            self.stats.misses += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+
+    def get(self, config: RunConfig) -> Optional[SimulationResult]:
+        """Look up *config*; None on miss.  Corrupt records self-heal."""
+        result = self._load(self.path_for(config.config_hash()))
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
         return result
 
-    def put(self, config: RunConfig, result: SimulationResult) -> Path:
-        """Store *result* under *config*'s hash (atomic, idempotent)."""
-        path = self.path_for(config.config_hash())
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def peek(self, config: RunConfig) -> Optional[SimulationResult]:
+        """Like :meth:`get` but without hit/miss accounting.
+
+        Used by claim polling, which re-reads the same key many times
+        while a peer computes it; counting each poll as a miss would
+        make the stats meaningless.
+        """
+        return self._load(self.path_for(config.config_hash()))
+
+    def put(
+        self,
+        config: RunConfig,
+        result: SimulationResult,
+        wall_seconds: Optional[float] = None,
+    ) -> Path:
+        """Store *result* under *config*'s hash (atomic, idempotent).
+
+        When *wall_seconds* is given, a metadata sidecar is written
+        next to the record; sidecar failures are swallowed (metadata is
+        advisory, the record itself is what matters).
+        """
+        key = config.config_hash()
+        path = self.path_for(key)
         record = {"config": config.to_dict(), "result": result.to_dict()}
-        text = canonical_json(record) + "\n"
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
+        _atomic_write(path, canonical_json(record) + "\n")
+        self.stats.stores += 1
+        if wall_seconds is not None:
+            meta = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "wall_seconds": round(float(wall_seconds), 6),
+                "events": result.metadata.get("events"),
+                "benchmark": config.benchmark,
+                "scheme": config.scheme,
+                "scale": config.scale,
+                "n_sms": config.n_sms,
+                "memory": config.memory,
+            }
             try:
-                os.unlink(tmp)
+                _atomic_write(self.meta_path_for(key), canonical_json(meta) + "\n")
             except OSError:
                 pass
-            raise
-        self.stats.stores += 1
         return path
 
+    def get_meta(self, key: str) -> Optional[Dict[str, object]]:
+        """The runtime-metadata sidecar for *key*, or None."""
+        try:
+            with open(self.meta_path_for(key)) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def runtime_metadata(self) -> List[Dict[str, object]]:
+        """Every readable metadata sidecar (feeds runtime estimation)."""
+        metas = []
+        for path in sorted(self.root.glob(f"*/*{_META_SUFFIX}")):
+            try:
+                with open(path) as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(data, dict) and data.get("wall_seconds") is not None:
+                metas.append(data)
+        return metas
+
+    # ------------------------------------------------------------------
+    # Inspection and pruning (``repro cache``)
+    # ------------------------------------------------------------------
+    def _record_paths(self) -> Iterator[Path]:
+        for path in sorted(self.root.glob("*/*.json")):
+            if not path.name.endswith(_META_SUFFIX):
+                yield path
+
+    def schema_of(self, key: str) -> Optional[int]:
+        """Which ``CACHE_SCHEMA_VERSION`` produced the record for *key*.
+
+        Prefers the sidecar; without one, probes every version up to
+        the current one by re-hashing the record's embedded config
+        (the key mixes the version in, so exactly one probe matches).
+        Returns None when the record is unreadable or from a foreign
+        schema newer than this code.
+        """
+        meta = self.get_meta(key)
+        if meta is not None and isinstance(meta.get("schema"), int):
+            return int(meta["schema"])
+        try:
+            with open(self.path_for(key)) as handle:
+                payload = dict(json.load(handle)["config"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        for version in range(1, CACHE_SCHEMA_VERSION + 1):
+            payload["__schema__"] = version
+            if stable_hash(payload) == key:
+                return version
+        return None
+
+    def entries(self) -> List[CacheEntry]:
+        """All records on disk, with whatever metadata is available."""
+        out = []
+        for path in self._record_paths():
+            key = path.stem
+            meta = self.get_meta(key) or {}
+            schema = meta.get("schema")
+            if not isinstance(schema, int):
+                schema = self.schema_of(key)
+            wall = meta.get("wall_seconds")
+            out.append(CacheEntry(
+                key=key,
+                path=path,
+                size_bytes=path.stat().st_size,
+                schema=schema,
+                wall_seconds=float(wall) if wall is not None else None,
+                benchmark=meta.get("benchmark"),
+                scheme=meta.get("scheme"),
+            ))
+        return out
+
+    def remove(self, key: str) -> None:
+        """Delete the record, sidecar and claim for *key* (if present)."""
+        for path in (
+            self.path_for(key), self.meta_path_for(key), self.claim_path_for(key)
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def prune(
+        self,
+        schema_versions: Optional[Sequence[int]] = None,
+        stale: bool = False,
+    ) -> Tuple[int, int]:
+        """Evict records by schema version; returns ``(removed, kept)``.
+
+        *schema_versions* lists versions to evict.  *stale* evicts
+        everything not produced under the current
+        :data:`~repro.runner.config.CACHE_SCHEMA_VERSION` — including
+        records whose schema cannot be determined (they are unreadable
+        by current code anyway).
+        """
+        targets = set(schema_versions or ())
+        removed = kept = 0
+        for entry in self.entries():
+            evict = entry.schema in targets
+            if stale and entry.schema != CACHE_SCHEMA_VERSION:
+                evict = True
+            if evict:
+                self.remove(entry.key)
+                removed += 1
+            else:
+                kept += 1
+        return removed, kept
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim *key* for this process; True if we own it.
+
+        The claim is a small JSON marker created with ``O_EXCL`` so
+        exactly one of any number of racing processes wins.
+        """
+        path = self.claim_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump(
+                {"pid": os.getpid(), "host": socket.gethostname(),
+                 "started": time.time()},
+                handle,
+            )
+        return True
+
+    def claim_age(self, key: str) -> Optional[float]:
+        """Seconds since the claim on *key* was created; None if unclaimed."""
+        try:
+            return max(0.0, time.time() - self.claim_path_for(key).stat().st_mtime)
+        except OSError:
+            return None
+
+    def take_over_claim(self, key: str, ttl: float) -> bool:
+        """Take over the claim on *key* if it is older than *ttl* seconds.
+
+        Racing takeovers are resolved by atomically replacing the stale
+        claim with a nonce-tagged one and reading it back: the last
+        replacer finds its own nonce and wins, every other contender
+        sees a foreign nonce and defers.  (A plain unlink-then-claim
+        would let a loser delete the winner's fresh claim.)  Returns
+        True when this process now owns the claim.
+        """
+        path = self.claim_path_for(key)
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            # Claim vanished meanwhile: race for a fresh one.
+            return self.try_claim(key)
+        if age <= ttl:
+            return False
+        nonce = f"{os.getpid()}@{socket.gethostname()}:{time.time_ns()}"
+        payload = json.dumps({
+            "pid": os.getpid(), "host": socket.gethostname(),
+            "started": time.time(), "nonce": nonce,
+        })
+        try:
+            _atomic_write(path, payload)
+            with open(path) as handle:
+                return json.load(handle).get("nonce") == nonce
+        except (OSError, ValueError):
+            return False
+
+    def release_claim(self, key: str) -> None:
+        """Drop the claim on *key* (no-op when absent)."""
+        try:
+            os.unlink(self.claim_path_for(key))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        """Number of records currently on disk."""
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """Number of result records currently on disk (sidecars excluded)."""
+        return sum(1 for _ in self._record_paths())
 
     def __repr__(self) -> str:
         return f"ResultCache({str(self.root)!r}, {self.stats.as_dict()})"

@@ -173,3 +173,21 @@ class SweepGrid:
             "scale": self.scale,
             "window": self.window,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepGrid":
+        """Rebuild a grid from :meth:`to_dict` output (re-validating).
+
+        Round-trips exactly: ``repro merge`` uses this to re-expand the
+        grid a shard report was cut from, so the merged report's config
+        order matches a single-machine sweep's.
+        """
+        return cls(
+            benchmarks=tuple(str(b) for b in data["benchmarks"]),
+            schemes=tuple(str(s) for s in data["schemes"]),
+            seeds=tuple(int(s) for s in data["seeds"]),
+            n_sms=tuple(int(n) for n in data["n_sms"]),
+            memories=tuple(str(m) for m in data["memories"]),
+            scale=float(data["scale"]),
+            window=int(data["window"]),
+        )

@@ -1,4 +1,4 @@
-"""Machine-readable sweep reports.
+"""Machine-readable sweep reports, sharded and whole.
 
 :func:`sweep_report` runs a :class:`SweepGrid` through a
 :class:`SweepRunner` and shapes the outcome into one JSON-safe dict —
@@ -11,20 +11,49 @@ counts or cache statistics — and :func:`render_report` encodes it with
 sorted keys.  Two invocations over the same grid therefore produce
 byte-identical text no matter how many workers ran the sweep or
 whether results came from the cache.
+
+Sharded sweeps
+--------------
+``repro sweep --shard I/N`` produces a **partial** report
+(:data:`SHARD_FORMAT`) holding only the runs the shard owns, plus the
+grid and shard spec it was cut from.  :func:`merge_shard_reports`
+validates a complete, consistent set of N partials and rebuilds the
+full report through the *same* :func:`report_from_results` code path a
+single-machine sweep uses — so the merged report is byte-identical to
+an unsharded run by construction.  :func:`report_from_cache` does the
+same directly from a shared cache directory, skipping the partial
+files entirely.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
-from .config import RunConfig, SweepGrid
+from .cache import ResultCache
+from .config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+from .shard import ShardSpec
 from .sweep import SweepRunner
 
-__all__ = ["sweep_report", "render_report", "REPORT_FORMAT"]
+__all__ = [
+    "sweep_report",
+    "shard_report",
+    "merge_shard_reports",
+    "report_from_results",
+    "report_from_cache",
+    "render_report",
+    "MergeError",
+    "REPORT_FORMAT",
+    "SHARD_FORMAT",
+]
 
 REPORT_FORMAT = "repro-sweep-report/1"
+SHARD_FORMAT = "repro-sweep-shard/1"
+
+
+class MergeError(ValueError):
+    """Raised when shard reports cannot be combined into a full report."""
 
 
 def _metric_tables(
@@ -67,10 +96,17 @@ def _harmonic_means(table: Dict[str, Dict[str, float]]) -> Dict[str, float]:
     return means
 
 
-def sweep_report(grid: SweepGrid, runner: SweepRunner) -> Dict[str, object]:
-    """Run *grid* on *runner* and build the report dict."""
-    configs = grid.configs()
-    results = runner.run_many(configs)
+def report_from_results(
+    grid: SweepGrid,
+    configs: List[RunConfig],
+    results: List[SimulationResult],
+) -> Dict[str, object]:
+    """Shape a full grid's results into the report dict.
+
+    The single report-building code path: a one-machine sweep, a shard
+    merge and a cache replay all end here, which is what makes their
+    outputs byte-identical.
+    """
     tables = _metric_tables(configs, results, grid)
     return {
         "format": REPORT_FORMAT,
@@ -86,6 +122,118 @@ def sweep_report(grid: SweepGrid, runner: SweepRunner) -> Dict[str, object]:
             "hmean_perf_per_watt": _harmonic_means(tables["perf_per_watt"]),
         },
     }
+
+
+def sweep_report(grid: SweepGrid, runner: SweepRunner) -> Dict[str, object]:
+    """Run *grid* on *runner* and build the report dict."""
+    configs = grid.configs()
+    results = runner.run_many(configs)
+    return report_from_results(grid, configs, results)
+
+
+def shard_report(
+    grid: SweepGrid, shard: ShardSpec, runner: SweepRunner
+) -> Dict[str, object]:
+    """Run this shard's slice of *grid* and build a partial report.
+
+    Partial reports omit the derived tables: a shard generally lacks
+    the BASE baselines of configs it does not own, so normalization
+    happens at merge time over the complete run set.
+    """
+    configs = shard.select(grid.configs())
+    results = runner.run_many(configs)
+    return {
+        "format": SHARD_FORMAT,
+        "schema": CACHE_SCHEMA_VERSION,
+        "grid": grid.to_dict(),
+        "shard": shard.to_dict(),
+        "runs": [
+            {"config": c.to_dict(), "result": r.to_dict()}
+            for c, r in zip(configs, results)
+        ],
+    }
+
+
+def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine a complete set of shard reports into the full report.
+
+    Validates that every partial uses the shard format, that all agree
+    on the grid and cache schema, and that the shard indexes are
+    exactly ``1..N`` — then rebuilds the report from the union of runs.
+    Raises :class:`MergeError` on any inconsistency or gap.
+    """
+    if not shards:
+        raise MergeError("no shard reports to merge")
+    for report in shards:
+        if report.get("format") != SHARD_FORMAT:
+            raise MergeError(
+                f"not a shard report: format={report.get('format')!r} "
+                f"(expected {SHARD_FORMAT!r})"
+            )
+    grid_dicts = [report["grid"] for report in shards]
+    if any(g != grid_dicts[0] for g in grid_dicts[1:]):
+        raise MergeError("shard reports were cut from different grids")
+    schemas = {report.get("schema") for report in shards}
+    if len(schemas) != 1:
+        raise MergeError(
+            f"shard reports disagree on cache schema: {sorted(map(str, schemas))}"
+        )
+    specs = [ShardSpec.from_dict(report["shard"]) for report in shards]
+    counts = {spec.count for spec in specs}
+    if len(counts) != 1:
+        raise MergeError(f"shard reports disagree on shard count: {sorted(counts)}")
+    count = counts.pop()
+    indexes = sorted(spec.index for spec in specs)
+    if indexes != list(range(1, count + 1)):
+        missing = sorted(set(range(1, count + 1)) - set(indexes))
+        if missing:
+            raise MergeError(f"missing shard(s) {missing} of {count}")
+        raise MergeError(f"duplicate shard indexes in {indexes}")
+
+    by_key: Dict[str, SimulationResult] = {}
+    for report in shards:
+        for run in report["runs"]:
+            config = RunConfig.from_dict(run["config"])
+            by_key[config.config_hash()] = SimulationResult.from_dict(run["result"])
+
+    grid = SweepGrid.from_dict(grid_dicts[0])
+    configs = grid.configs()
+    missing_configs = [c for c in configs if c.config_hash() not in by_key]
+    if missing_configs:
+        names = ", ".join(
+            f"{c.benchmark}/{c.scheme}" for c in missing_configs[:8]
+        )
+        raise MergeError(
+            f"{len(missing_configs)} grid config(s) missing from the shard "
+            f"reports (first: {names}) — was every shard run to completion?"
+        )
+    results = [by_key[c.config_hash()] for c in configs]
+    return report_from_results(grid, configs, results)
+
+
+def report_from_cache(grid: SweepGrid, cache: ResultCache) -> Dict[str, object]:
+    """Build the full report for *grid* straight from a result cache.
+
+    This is the file-less merge path: after N shards have swept into
+    one shared cache directory, the cache alone holds every run.
+    Raises :class:`MergeError` when any grid config is absent.
+    """
+    configs = grid.configs()
+    results = []
+    missing = []
+    for config in configs:
+        result = cache.peek(config)
+        if result is None:
+            missing.append(config)
+        else:
+            results.append(result)
+    if missing:
+        names = ", ".join(f"{c.benchmark}/{c.scheme}" for c in missing[:8])
+        raise MergeError(
+            f"{len(missing)} grid config(s) not in cache {cache.root} "
+            f"(first: {names}) — did every shard sweep finish?"
+        )
+    return report_from_results(grid, configs, results)
 
 
 def render_report(report: Dict[str, object]) -> str:

@@ -9,32 +9,77 @@ in-memory memo behind it:
 2. then in the on-disk cache (if one is configured),
 3. remaining misses are deduplicated and executed — inline when
    ``workers <= 1``, otherwise on the pool — and written back to the
-   cache.
+   cache together with a runtime-metadata sidecar.
 
 Results are returned **in input order** regardless of which worker
 finished first, so a sweep's output is byte-for-byte identical whether
 it ran on 1 worker or 16 (and whether it was served cold or from
 cache): ordering is positional and every run is a deterministic pure
 function of its config.
+
+Scheduling
+----------
+Cold configs are dispatched **longest-job-first** (``schedule="ljf"``,
+the default): each miss gets a runtime estimate — recorded wall
+seconds from the cache's metadata sidecars when available, a static
+scale-based guess otherwise — and misses are packed longest-first into
+at most ``16 x workers`` futures by greedy LPT assignment (one job per
+future on small grids, batched on large ones to amortize executor
+IPC).  Long runs start first, which kills the straggler tail FIFO
+submission suffers from (the slowest config submitted last pins the
+whole sweep).  ``schedule="fifo"`` restores one-future-per-config
+submission in input order for A/B measurement.  Scheduling only
+reorders *execution*; reported results never change.
+
+Claims
+------
+With ``claims=True`` (and a cache configured), the runner participates
+in the cache's claim-file protocol: before executing a miss it tries
+to atomically claim the key; keys claimed by a concurrent process
+(e.g. an overlapping sweep sharing the cache dir) are *polled* for
+instead of re-run, falling back to local execution when the peer's
+claim goes stale (``claim_ttl``) or the wait exceeds ``claim_wait``.
+Correctness never depends on claims — they only avoid duplicate work.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
 from .config import RunConfig
-from .worker import execute_config, process_context
+from .worker import execute_config_batch, process_context
 
-__all__ = ["SweepRunner", "SweepStats", "default_workers"]
+__all__ = [
+    "SweepRunner",
+    "SweepStats",
+    "SweepProgress",
+    "default_workers",
+    "estimate_runtimes",
+    "plan_buckets",
+]
 
 
 def default_workers() -> int:
-    """Worker count when the caller does not choose: one per CPU, min 1."""
+    """Worker count when the caller does not choose.
+
+    Honors the ``REPRO_WORKERS`` environment variable (so CI and shard
+    launchers can cap process fan-out without plumbing flags), falling
+    back to one worker per CPU.  Always at least 1.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
     return max(1, os.cpu_count() or 1)
 
 
@@ -43,10 +88,11 @@ class SweepStats:
     """Accounting for one :class:`SweepRunner` instance.
 
     ``memory_hits`` are served from the in-process memo, ``cache_hits``
-    from disk, ``executed`` were actually simulated.  ``requested`` is
-    the total number of configs asked for (so ``requested ==
-    memory_hits + cache_hits + executed`` after every call — duplicate
-    configs inside one call count as memory hits).
+    from disk (including results stolen from a concurrent claimant),
+    ``executed`` were actually simulated.  ``requested`` is the total
+    number of configs asked for (so ``requested == memory_hits +
+    cache_hits + executed`` after every call — duplicate configs inside
+    one call count as memory hits).
     """
 
     requested: int = 0
@@ -63,6 +109,100 @@ class SweepStats:
         }
 
 
+@dataclass(frozen=True)
+class SweepProgress:
+    """One live-progress tick (misses only; hits complete instantly)."""
+
+    done: int
+    total: int
+    elapsed_seconds: float
+    eta_seconds: float
+
+
+# Estimated seconds per unit of trace scale when the cache holds no
+# runtime metadata at all.  Only relative magnitudes matter for LJF.
+_FALLBACK_SECONDS_PER_SCALE = 1.0
+
+
+def estimate_runtimes(
+    configs: Sequence[RunConfig],
+    metas: Sequence[Dict[str, object]],
+) -> List[float]:
+    """Estimated wall seconds for each config, best evidence first.
+
+    1. mean recorded wall of runs with the same (benchmark, scheme,
+       scale, n_sms, memory) — i.e. the same run under an older cache
+       schema,
+    2. mean recorded wall-per-scale of the same benchmark, times the
+       config's scale,
+    3. global mean wall-per-scale, times the config's scale,
+    4. a static ``scale * n_sms`` guess.
+
+    Pure and deterministic: estimates only influence execution order,
+    never results.
+    """
+    exact: Dict[Tuple[str, str, float, int, str], List[float]] = {}
+    bench_rates: Dict[str, List[float]] = {}
+    global_rates: List[float] = []
+    for meta in metas:
+        try:
+            wall = float(meta["wall_seconds"])  # type: ignore[arg-type]
+            benchmark = str(meta["benchmark"])
+            scale = float(meta["scale"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            continue
+        key = (
+            benchmark, str(meta.get("scheme")), scale,
+            int(meta.get("n_sms", 0) or 0), str(meta.get("memory")),
+        )
+        exact.setdefault(key, []).append(wall)
+        if scale > 0:
+            bench_rates.setdefault(benchmark, []).append(wall / scale)
+            global_rates.append(wall / scale)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values)
+
+    estimates = []
+    for config in configs:
+        key = (
+            config.benchmark, config.scheme, config.scale,
+            config.n_sms, config.memory,
+        )
+        if key in exact:
+            estimates.append(mean(exact[key]))
+        elif config.benchmark in bench_rates:
+            estimates.append(mean(bench_rates[config.benchmark]) * config.scale)
+        elif global_rates:
+            estimates.append(mean(global_rates) * config.scale)
+        else:
+            estimates.append(
+                _FALLBACK_SECONDS_PER_SCALE * config.scale * config.n_sms
+            )
+    return estimates
+
+
+def plan_buckets(estimates: Sequence[float], n_buckets: int) -> List[List[int]]:
+    """Greedy LPT packing of job indexes into at most *n_buckets* batches.
+
+    Jobs are taken longest-first and each goes to the least-loaded
+    bucket (ties to the lowest bucket index), so every bucket carries a
+    near-equal share of estimated work and the longest jobs lead their
+    batch.  Every index appears in exactly one bucket; empty buckets
+    are dropped.  Deterministic for fixed inputs.
+    """
+    n = len(estimates)
+    n_buckets = max(1, min(n, n_buckets))
+    order = sorted(range(n), key=lambda i: (-estimates[i], i))
+    buckets: List[List[int]] = [[] for _ in range(n_buckets)]
+    loads = [0.0] * n_buckets
+    for i in order:
+        target = min(range(n_buckets), key=lambda j: (loads[j], j))
+        buckets[target].append(i)
+        loads[target] += estimates[i]
+    return [bucket for bucket in buckets if bucket]
+
+
 class SweepRunner:
     """Runs batches of configs with caching and optional parallelism."""
 
@@ -71,19 +211,38 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache_dir=None,
         context=None,
+        schedule: str = "ljf",
+        claims: bool = False,
+        claim_ttl: float = 1800.0,
+        claim_poll: float = 0.25,
+        claim_wait: Optional[float] = None,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
     ) -> None:
         """*context* is the :class:`~repro.runner.worker.RunContext` used
         for inline execution (``workers <= 1``); it defaults to the
         process-wide one.  Pool workers always use their own process's
-        context."""
+        context.  See the module docstring for *schedule* and the claim
+        parameters; *progress* is called with a :class:`SweepProgress`
+        after every completed miss."""
+        if schedule not in ("ljf", "fifo"):
+            raise ValueError(f"schedule must be 'ljf' or 'fifo', got {schedule!r}")
         self.workers = int(workers) if workers is not None else 1
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
         self.stats = SweepStats()
+        self.schedule = schedule
+        self.claims = bool(claims) and self.cache is not None
+        self.claim_ttl = float(claim_ttl)
+        self.claim_poll = float(claim_poll)
+        self.claim_wait = float(claim_wait) if claim_wait is not None else float(claim_ttl)
+        self._progress = progress
         self._memory: Dict[str, SimulationResult] = {}
         self._context = context
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        # Sidecar snapshot shared by the execute calls of one run_many
+        # batch (claims mode executes in two waves; scan disk once).
+        self._meta_scan: Optional[List[Dict[str, object]]] = None
 
     # ------------------------------------------------------------------
     # Running
@@ -120,16 +279,21 @@ class SweepRunner:
             miss_order.append(key)
             miss_config[key] = config
 
-        # 3: execute the misses.
+        # 3: execute the misses.  ``wall`` is None when a concurrent
+        # claimant computed the result and we only read it back;
+        # ``persisted`` is True when the claims path already wrote the
+        # record (before releasing its claim).
         if miss_order:
-            computed = self._execute(
-                [miss_config[key] for key in miss_order]
-            )
-            for key, result in zip(miss_order, computed):
+            self._meta_scan = None  # fresh sidecar snapshot per batch
+            computed = self._execute([miss_config[key] for key in miss_order])
+            for key, (result, wall, persisted) in zip(miss_order, computed):
                 self._memory[key] = result
-                self.stats.executed += 1
-                if self.cache is not None:
-                    self.cache.put(miss_config[key], result)
+                if wall is None:
+                    self.stats.cache_hits += 1
+                else:
+                    self.stats.executed += 1
+                    if self.cache is not None and not persisted:
+                        self.cache.put(miss_config[key], result, wall_seconds=wall)
 
         # Fill remaining slots (memo now has every key).
         for i, key in enumerate(keys):
@@ -137,10 +301,65 @@ class SweepRunner:
                 results[i] = self._memory[key]
         return results  # type: ignore[return-value]
 
-    def _execute(self, configs: List[RunConfig]) -> List[SimulationResult]:
-        if self.workers <= 1 or len(configs) <= 1:
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    # Each executed entry is (result, wall_seconds, persisted): wall is
+    # None for results stolen from a peer, persisted is True when the
+    # record already reached the cache (claims write before releasing).
+    _Executed = Tuple[SimulationResult, Optional[float], bool]
+
+    def _execute(self, configs: List[RunConfig]) -> List["SweepRunner._Executed"]:
+        if self.claims:
+            return self._execute_with_claims(configs)
+        return self._execute_batch(configs)
+
+    def _estimates(self, configs: Sequence[RunConfig]) -> List[float]:
+        if self._meta_scan is None:
+            self._meta_scan = (
+                self.cache.runtime_metadata() if self.cache is not None else []
+            )
+        return estimate_runtimes(configs, self._meta_scan)
+
+    def _execute_batch(
+        self, configs: List[RunConfig]
+    ) -> List["SweepRunner._Executed"]:
+        """Simulate *configs*, returning executed entries in input order."""
+        n = len(configs)
+        use_pool = self.workers > 1 and n > 1
+        # Estimates cost a sidecar scan; only pay it when something
+        # consumes them (LJF bucket planning or the ETA callback).
+        if self._progress is not None or (use_pool and self.schedule == "ljf"):
+            estimates = self._estimates(configs)
+        else:
+            estimates = [0.0] * n
+        started = time.perf_counter()
+        done = 0
+
+        def tick(remaining_estimate: float) -> None:
+            if self._progress is None:
+                return
+            elapsed = time.perf_counter() - started
+            self._progress(SweepProgress(
+                done=done,
+                total=n,
+                elapsed_seconds=elapsed,
+                eta_seconds=remaining_estimate / max(1, self.workers),
+            ))
+
+        if not use_pool:
             context = self._context if self._context is not None else process_context()
-            return [context.execute(c) for c in configs]
+            out: List[SweepRunner._Executed] = []
+            remaining = sum(estimates)
+            for config, estimate in zip(configs, estimates):
+                run_started = time.perf_counter()
+                result = context.execute(config)
+                out.append((result, time.perf_counter() - run_started, False))
+                done += 1
+                remaining -= estimate
+                tick(remaining)
+            return out
+
         # The pool persists across run_many calls, so each worker's
         # RunContext keeps amortizing workload/scheme/RMP-profile
         # construction over the whole runner lifetime, not one batch.
@@ -148,9 +367,100 @@ class SweepRunner:
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers
             )
-        payloads = [c.to_dict() for c in configs]
-        dicts = list(self._pool.map(execute_config, payloads))
-        return [SimulationResult.from_dict(d) for d in dicts]
+        if self.schedule == "fifo":
+            # A/B baseline: one future per config, submitted in input
+            # order — the pre-LJF behaviour.
+            buckets = [[i] for i in range(n)]
+        else:
+            # One job per future while grids are small (dynamic pulling
+            # then absorbs any estimate error); above ~16 futures per
+            # worker, batch to cap executor IPC.  Either way jobs are
+            # packed longest-first, so the heaviest runs start first.
+            buckets = plan_buckets(estimates, self.workers * 16)
+        futures = {
+            self._pool.submit(
+                execute_config_batch, [configs[i].to_dict() for i in bucket]
+            ): bucket
+            for bucket in buckets
+        }
+        results: List[Optional[SweepRunner._Executed]] = [None] * n
+        remaining = sum(estimates)
+        for future in concurrent.futures.as_completed(futures):
+            bucket = futures[future]
+            for i, payload in zip(bucket, future.result()):
+                results[i] = (
+                    SimulationResult.from_dict(payload["result"]),
+                    float(payload["wall_seconds"]),
+                    False,
+                )
+                done += 1
+                remaining -= estimates[i]
+            tick(remaining)
+        return results  # type: ignore[return-value]
+
+    def _execute_with_claims(
+        self, configs: List[RunConfig]
+    ) -> List["SweepRunner._Executed"]:
+        """Claim-aware execution: run what we claim, poll what peers hold."""
+        assert self.cache is not None
+        n = len(configs)
+        keys = [c.config_hash() for c in configs]
+        results: List[Optional[SweepRunner._Executed]] = [None] * n
+
+        owned: List[int] = []
+        deferred: List[int] = []
+        for i, key in enumerate(keys):
+            if self.cache.try_claim(key):
+                owned.append(i)
+            elif self.cache.take_over_claim(key, self.claim_ttl):
+                # Dead peer: the stale claim was atomically replaced.
+                owned.append(i)
+            else:
+                deferred.append(i)
+
+        if owned:
+            try:
+                computed = self._execute_batch([configs[i] for i in owned])
+                for i, (result, wall, _) in zip(owned, computed):
+                    # Persist each record *before* releasing its claim:
+                    # a peer polling this key must never see the claim
+                    # vanish while the record is still missing, or it
+                    # would conclude we died and re-run the config.
+                    self.cache.put(configs[i], result, wall_seconds=wall)
+                    self.cache.release_claim(keys[i])
+                    results[i] = (result, wall, True)
+            finally:
+                # On an execution error the unfinished claims are
+                # dropped (no record): peers take the work over.
+                for i in owned:
+                    self.cache.release_claim(keys[i])
+
+        # Poll for the configs a peer is computing; take over when the
+        # claim goes stale or the wait budget runs out.  Correctness
+        # first: everything left at the deadline is run locally.
+        if deferred:
+            deadline = time.monotonic() + self.claim_wait
+            pending = list(deferred)
+            while pending and time.monotonic() < deadline:
+                still_pending = []
+                for i in pending:
+                    result = self.cache.peek(configs[i])
+                    if result is not None:
+                        results[i] = (result, None, False)
+                        continue
+                    still_pending.append(i)
+                    if self.cache.claim_age(keys[i]) is None:
+                        # Claim vanished without a record: the peer
+                        # died — stop waiting, run the rest locally.
+                        deadline = time.monotonic()
+                pending = still_pending
+                if pending and time.monotonic() < deadline:
+                    time.sleep(self.claim_poll)
+            if pending:
+                computed = self._execute_batch([configs[i] for i in pending])
+                for i, pair in zip(pending, computed):
+                    results[i] = pair
+        return results  # type: ignore[return-value]
 
     def close(self) -> None:
         """Shut the worker pool down (no-op when none was started)."""
@@ -174,5 +484,6 @@ class SweepRunner:
         return (
             f"SweepRunner(workers={self.workers}, "
             f"cache={getattr(self.cache, 'root', None)!r}, "
+            f"schedule={self.schedule!r}, "
             f"stats={self.stats.as_dict()})"
         )

@@ -16,6 +16,7 @@ from repro.core.entropy import (
     has_parallel_bit_valley,
     kernel_entropy_profile,
     stream_entropy,
+    translate_kernel_inputs,
     window_entropy,
 )
 
@@ -227,3 +228,44 @@ def test_window_entropy_bounds_property(n_tbs, window, seed):
 def test_window_of_identical_values_is_zero(values):
     h = entropy_of_bvr_window([values[0]] * len(values))
     assert h == 0.0
+
+
+class TestTranslateKernelInputs:
+    def test_matches_per_tb_translation(self):
+        amap = hynix_gddr5_map()
+        rng = np.random.default_rng(3)
+        kernels = [
+            ([rng.integers(0, amap.capacity, size=n, dtype=np.uint64)
+              for n in (4, 9)], 13),
+            ([rng.integers(0, amap.capacity, size=6, dtype=np.uint64)], None),
+        ]
+        from repro.core.schemes import build_scheme
+        scheme = build_scheme("FAE", amap, seed=1)
+        translated = translate_kernel_inputs(kernels, scheme.bim.matrix)
+        assert [w for _, w in translated] == [13, None]
+        for (tbs_in, _), (tbs_out, _) in zip(kernels, translated):
+            assert len(tbs_in) == len(tbs_out)
+            for original, mapped in zip(tbs_in, tbs_out):
+                assert (np.atleast_1d(scheme.map(original)) == mapped).all()
+
+    def test_profiles_agree_with_unbatched_path(self):
+        """The batched Fig. 10 path gives bit-identical entropy values."""
+        amap = hynix_gddr5_map()
+        rng = np.random.default_rng(9)
+        kernels = [
+            ([rng.integers(0, amap.capacity, size=24, dtype=np.uint64)
+              for _ in range(6)], 0),
+        ]
+        from repro.core.schemes import build_scheme
+        scheme = build_scheme("PAE", amap, seed=0)
+        slow = [
+            ([np.atleast_1d(scheme.map(a)) for a in tbs], w)
+            for tbs, w in kernels
+        ]
+        fast = translate_kernel_inputs(kernels, scheme.bim.matrix)
+        slow_profile = application_entropy_profile(slow, amap, 4)
+        fast_profile = application_entropy_profile(fast, amap, 4)
+        assert (slow_profile.values == fast_profile.values).all()
+
+    def test_empty_kernels(self):
+        assert translate_kernel_inputs([], np.eye(4, dtype=np.uint8)) == []

@@ -155,3 +155,55 @@ def test_rank_bounds(n, seed):
     assert 0 <= r <= n
     doubled = np.concatenate([m, m[:1]], axis=0)
     assert gf2.gf2_rank(doubled) == r
+
+
+class TestMatvecBatch:
+    def test_identity_passthrough(self):
+        addrs = np.array([0, 1, 5, 1023], dtype=np.uint64)
+        out = gf2.gf2_matvec_batch(gf2.identity(10), addrs)
+        assert out.dtype == np.uint64
+        assert (out == addrs).all()
+
+    def test_matches_per_address_matvec(self):
+        rng = np.random.default_rng(11)
+        m = gf2.random_invertible(9, rng)
+        addrs = rng.integers(0, 1 << 9, size=64, dtype=np.uint64)
+        batch = gf2.gf2_matvec_batch(m, addrs)
+        for addr, got in zip(addrs, batch):
+            bits = np.array([(int(addr) >> j) & 1 for j in range(9)], dtype=np.uint8)
+            expect = sum(int(v) << i for i, v in enumerate(gf2.gf2_matvec(m, bits)))
+            assert int(got) == expect
+
+    def test_rectangular_matrix(self):
+        # 2x3: output bit 0 = in0 ^ in2, output bit 1 = in1.
+        m = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+        out = gf2.gf2_matvec_batch(m, [0b101, 0b010, 0b111])
+        assert out.tolist() == [0b00, 0b10, 0b10]
+
+    def test_empty_input(self):
+        out = gf2.gf2_matvec_batch(gf2.identity(4), np.array([], dtype=np.uint64))
+        assert out.size == 0
+
+    def test_rejects_oversized_address(self):
+        with pytest.raises(GF2Error, match="does not fit"):
+            gf2.gf2_matvec_batch(gf2.identity(4), [16])
+
+    def test_rejects_wide_matrix(self):
+        with pytest.raises(GF2Error, match="64-bit"):
+            gf2.gf2_matvec_batch(np.zeros((65, 65), dtype=np.uint8), [0])
+
+    def test_rejects_2d_addresses(self):
+        with pytest.raises(GF2Error, match="one-dimensional"):
+            gf2.gf2_matvec_batch(gf2.identity(4), [[1, 2], [3, 4]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=2**32 - 1))
+def test_matvec_batch_round_trip_property(n, seed):
+    """Property: batch-applying M then M^-1 restores every address."""
+    rng = np.random.default_rng(seed)
+    m = gf2.random_invertible(n, rng)
+    addrs = rng.integers(0, 1 << n, size=32, dtype=np.uint64)
+    mapped = gf2.gf2_matvec_batch(m, addrs)
+    back = gf2.gf2_matvec_batch(gf2.gf2_inverse(m), mapped)
+    assert (back == addrs).all()

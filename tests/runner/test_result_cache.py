@@ -6,7 +6,7 @@ import pytest
 
 from repro.dram.power import DRAMPowerBreakdown
 from repro.runner.cache import ResultCache
-from repro.runner.config import RunConfig
+from repro.runner.config import CACHE_SCHEMA_VERSION, RunConfig
 from repro.sim.results import SimulationResult
 
 
@@ -114,3 +114,110 @@ class TestSharedCache:
         reader = ResultCache(tmp_path)
         assert reader.get(CONFIG) == make_result()
         assert reader.stats.hits == 1
+
+
+class TestRuntimeMetadata:
+    def test_sidecar_written_with_wall_seconds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=1.5)
+        key = CONFIG.config_hash()
+        meta = cache.get_meta(key)
+        assert meta["wall_seconds"] == 1.5
+        assert meta["schema"] == CACHE_SCHEMA_VERSION
+        assert meta["events"] == 123  # from result.metadata
+        assert meta["benchmark"] == "MT"
+        assert meta["scale"] == 0.25
+
+    def test_no_sidecar_without_wall_seconds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result())
+        assert cache.get_meta(CONFIG.config_hash()) is None
+
+    def test_len_counts_records_not_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.2)
+        assert len(cache) == 1
+
+    def test_runtime_metadata_lists_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.7)
+        other = RunConfig("SP", "BASE", scale=0.25)
+        cache.put(other, make_result("SP", "BASE"))  # no sidecar
+        metas = cache.runtime_metadata()
+        assert len(metas) == 1
+        assert metas[0]["wall_seconds"] == 0.7
+
+    def test_peek_does_not_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.peek(CONFIG) is None
+        cache.put(CONFIG, make_result())
+        assert cache.peek(CONFIG) == make_result()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+
+def _write_stale_record(root, config: RunConfig, schema: int, with_meta: bool):
+    """Plant a record keyed as an older CACHE_SCHEMA_VERSION would."""
+    from repro.core.serialize import canonical_json, stable_hash
+
+    payload = config.to_dict()
+    payload["__schema__"] = schema
+    key = stable_hash(payload)
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"config": config.to_dict(), "result": make_result().to_dict()}
+    path.write_text(canonical_json(record) + "\n")
+    if with_meta:
+        (root / key[:2] / f"{key}.meta.json").write_text(
+            canonical_json({"schema": schema, "wall_seconds": 0.5}) + "\n"
+        )
+    return key
+
+
+class TestEntriesAndPrune:
+    def test_schema_classified_from_sidecar_and_by_probing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with_meta = _write_stale_record(tmp_path, CONFIG, schema=1, with_meta=True)
+        probed = _write_stale_record(
+            tmp_path, RunConfig("SP", "BASE", scale=0.25), schema=1,
+            with_meta=False,
+        )
+        cache.put(CONFIG, make_result(), wall_seconds=0.1)
+        assert cache.schema_of(with_meta) == 1
+        assert cache.schema_of(probed) == 1  # rehash probing, no sidecar
+        assert cache.schema_of(CONFIG.config_hash()) == CACHE_SCHEMA_VERSION
+
+    def test_entries_report_schema_and_size(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.1)
+        _write_stale_record(tmp_path, CONFIG, schema=1, with_meta=True)
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert sorted(e.schema for e in entries) == [1, CACHE_SCHEMA_VERSION]
+        assert all(e.size_bytes > 0 for e in entries)
+
+    def test_prune_by_schema_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.1)
+        _write_stale_record(tmp_path, CONFIG, schema=1, with_meta=True)
+        removed, kept = cache.prune(schema_versions=[1])
+        assert (removed, kept) == (1, 1)
+        # The current-schema record survived (and its sidecar too).
+        assert cache.get(CONFIG) == make_result()
+
+    def test_prune_stale_keeps_only_current(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.1)
+        _write_stale_record(tmp_path, CONFIG, schema=1, with_meta=True)
+        _write_stale_record(
+            tmp_path, RunConfig("SP", "BASE", scale=0.25), schema=1,
+            with_meta=False,
+        )
+        removed, kept = cache.prune(stale=True)
+        assert (removed, kept) == (2, 1)
+        assert len(cache) == 1
+
+    def test_prune_nothing_matches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CONFIG, make_result(), wall_seconds=0.1)
+        assert cache.prune(schema_versions=[99]) == (0, 1)

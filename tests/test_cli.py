@@ -91,6 +91,109 @@ class TestSweep:
         ]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
 
+    def test_bad_repro_workers_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", "PM",
+            "--workers", "0", "--cache-dir", "",
+        ]) == 2
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+
+class TestShardAndMerge:
+    GRID_ARGS = ["--benchmarks", "SP,HS", "--schemes", "PAE", "--scale", "0.25"]
+
+    def test_sharded_sweep_merges_byte_identical(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        single = tmp_path / "single.json"
+        merged = tmp_path / "merged.json"
+        from_cache = tmp_path / "from_cache.json"
+        assert main([
+            "sweep", *self.GRID_ARGS, "--cache-dir", str(cache),
+            "-o", str(single),
+        ]) == 0
+        shard_paths = []
+        for i in (1, 2):
+            path = tmp_path / f"shard{i}.json"
+            shard_paths.append(path)
+            assert main([
+                "sweep", *self.GRID_ARGS, "--cache-dir", str(cache),
+                "--shard", f"{i}/2", "-o", str(path),
+            ]) == 0
+            report = json.loads(path.read_text())
+            assert report["format"].startswith("repro-sweep-shard/")
+            assert report["shard"] == {"index": i, "count": 2}
+        capsys.readouterr()
+
+        assert main([
+            "merge", str(shard_paths[0]), str(shard_paths[1]),
+            "-o", str(merged),
+        ]) == 0
+        assert merged.read_bytes() == single.read_bytes()
+
+        # The file-less path: merge straight from the shared cache.
+        assert main([
+            "merge", "--cache-dir", str(cache), *self.GRID_ARGS,
+            "-o", str(from_cache),
+        ]) == 0
+        assert from_cache.read_bytes() == single.read_bytes()
+
+    def test_bad_shard_spec_rejected(self, capsys):
+        assert main([
+            "sweep", *self.GRID_ARGS, "--cache-dir", "", "--shard", "0/4",
+        ]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_merge_incomplete_shards_rejected(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        shard1 = tmp_path / "shard1.json"
+        assert main([
+            "sweep", *self.GRID_ARGS, "--cache-dir", str(cache),
+            "--shard", "1/2", "-o", str(shard1),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(shard1), "-o", "-"]) == 2
+        assert "missing shard" in capsys.readouterr().err
+
+    def test_merge_without_inputs_rejected(self, capsys):
+        assert main(["merge"]) == 2
+        assert "shard report" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_ls_and_prune(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", "PAE",
+            "--scale", "0.25", "--cache-dir", str(cache_dir), "-o",
+            str(tmp_path / "r.json"),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "current" in out
+        assert "2 records" in out
+
+        # Nothing from schema 1 to prune; current records survive.
+        assert main([
+            "cache", "prune", "--cache-dir", str(cache_dir),
+            "--schema-version", "1",
+        ]) == 0
+        assert "pruned 0 record(s), kept 2" in capsys.readouterr().out
+
+    def test_prune_refuses_current_schema(self, tmp_path, capsys):
+        from repro.runner import CACHE_SCHEMA_VERSION
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--schema-version", str(CACHE_SCHEMA_VERSION),
+        ]) == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_prune_requires_a_target(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "nothing to prune" in capsys.readouterr().err
+
 
 class TestExport:
     def test_export_roundtrip(self, tmp_path, capsys):
