@@ -6,25 +6,30 @@ you can edit), and prints the paper's headline metrics side by side:
 speedup, row-buffer hit rate, activate count, DRAM power and perf/W.
 
 Run:  python examples/design_space_sweep.py [BENCH]     (default: SRAD2)
+Env:  REPRO_EXAMPLE_SCALE (default 0.5) sizes the traces.
 """
 
+import os
 import sys
 
-from repro import build_scheme, build_workload, hynix_gddr5_map, simulate
+from repro import build_workload, hynix_gddr5_map, simulate
 from repro.analysis.report import format_table
 from repro.core import SCHEME_NAMES
 from repro.core.schemes import broad_scheme
+from repro.registry import make_scheme
 from repro.sim.results import perf_per_watt_ratio, speedup
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
 
 
 def main() -> None:
     bench = sys.argv[1] if len(sys.argv) > 1 else "SRAD2"
     amap = hynix_gddr5_map()
-    workload = build_workload(bench, scale=0.5)
+    workload = build_workload(bench, scale=SCALE)
     print(f"benchmark {bench}: {workload.n_requests} coalesced requests, "
           f"{workload.n_tbs} TBs, {workload.n_kernels} kernels\n")
 
-    schemes = [build_scheme(name, amap, seed=0) for name in SCHEME_NAMES]
+    schemes = [make_scheme(name, amap, seed=0) for name in SCHEME_NAMES]
     # A custom Broad variant: harvest only the row bits (edit me!).
     schemes.append(broad_scheme(
         "ROWS", amap,

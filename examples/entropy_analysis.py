@@ -13,10 +13,10 @@ import numpy as np
 
 from repro.core import (
     SCHEME_NAMES,
-    build_scheme,
     find_entropy_valleys,
     hynix_gddr5_map,
 )
+from repro.registry import make_scheme
 from repro.core.entropy import application_entropy_profile
 from repro.workloads import KernelTrace, TBTrace, WarpTrace, Workload
 from repro.workloads.patterns import banded_rows, column_walk, make_tb
@@ -59,7 +59,7 @@ def main() -> None:
     print("\nchannel/bank-bit entropy after each mapping scheme:")
     addresses = [tb.addresses() for tb in workload.kernels[0].tbs]
     for name in SCHEME_NAMES:
-        scheme = build_scheme(name, amap, seed=0)
+        scheme = make_scheme(name, amap, seed=0)
         mapped = [(np.atleast_1d(scheme.map(a))) for a in addresses]
         mapped_profile = application_entropy_profile(
             [(mapped, workload.n_requests)], amap, window=12

@@ -2,10 +2,12 @@
 """Quickstart: map addresses, measure entropy, and race PAE against BASE.
 
 Run:  python examples/quickstart.py
+Env:  REPRO_EXAMPLE_SCALE (default 0.5) sizes the traces.
 """
 
+import os
+
 from repro import (
-    build_scheme,
     build_workload,
     has_parallel_bit_valley,
     hynix_gddr5_map,
@@ -13,6 +15,9 @@ from repro import (
     speedup,
 )
 from repro.core.entropy import application_entropy_profile
+from repro.registry import make_scheme
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
 
 
 def main() -> None:
@@ -20,7 +25,7 @@ def main() -> None:
     print(f"Address map: {amap}")
 
     # 1. Build a mapping scheme and look at what it does to one address.
-    pae = build_scheme("PAE", amap, seed=0)
+    pae = make_scheme("PAE", amap, seed=0)
     addr = amap.encode(row=1234, bank=5, channel=0, col=17)
     print(f"\ninput  address 0x{addr:08x} -> {amap.decode(addr)}")
     print(f"mapped address 0x{int(pae.map(addr)):08x} -> {pae.decode(addr)}")
@@ -28,7 +33,7 @@ def main() -> None:
           f"depth {pae.bim.xor_tree_depth()}")
 
     # 2. Entropy-profile the paper's most dramatic benchmark.
-    mt = build_workload("MT", scale=0.5)
+    mt = build_workload("MT", scale=SCALE)
     profile = application_entropy_profile(
         mt.entropy_kernel_inputs(), amap, window=12, label="MT"
     )
@@ -39,7 +44,7 @@ def main() -> None:
 
     # 3. Simulate MT under BASE and PAE and compare.
     print("\nsimulating MT under BASE ...")
-    base_result = simulate(mt, build_scheme("BASE", amap))
+    base_result = simulate(mt, make_scheme("BASE", amap))
     print("simulating MT under PAE ...")
     pae_result = simulate(mt, pae)
     print(f"\nBASE: {base_result.cycles} cycles, "

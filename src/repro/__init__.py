@@ -19,15 +19,28 @@ is evaluated on:
 
 Quickstart::
 
-    from repro import hynix_gddr5_map, build_scheme, simulate, build_workload
+    from repro import api
+
+    table = api.compare("MT", ["PAE"], scale=0.5)
+    print(table["PAE"]["speedup"])  # PAE speedup over the Hynix map
+
+or, assembling the pieces yourself::
+
+    from repro import hynix_gddr5_map, simulate, build_workload
+    from repro.registry import make_scheme
 
     amap = hynix_gddr5_map()
     workload = build_workload("MT")
-    base = simulate(workload, build_scheme("BASE", amap))
-    pae = simulate(workload, build_scheme("PAE", amap))
-    print(base.cycles / pae.cycles)  # PAE speedup over the Hynix map
+    base = simulate(workload, make_scheme("BASE", amap))
+    pae = simulate(workload, make_scheme("PAE", amap))
+    print(base.cycles / pae.cycles)
+
+Custom schemes and workloads register via :mod:`repro.registry`
+decorators or travel as serializable :mod:`repro.specs` documents —
+see ``examples/custom_scheme.py``.
 """
 
+from . import api, registry, specs
 from .analysis import ExperimentRunner, harmonic_mean
 from .core import (
     BIM,
@@ -48,7 +61,13 @@ from .core import (
 )
 from .dram import DRAMSystem, DRAMTiming, gddr5_timing, stacked_timing
 from .gpu import GPUConfig, baseline_config, config_with_sms
+from .registry import (
+    register_memory,
+    register_scheme,
+    register_workload,
+)
 from .sim import GPUSystem, SimulationResult, simulate, speedup
+from .specs import ScenarioSpec, SchemeSpec, WorkloadSpec
 from .workloads import (
     ALL_BENCHMARKS,
     NON_VALLEY_BENCHMARKS,
@@ -75,9 +94,13 @@ __all__ = [
     "MappingScheme",
     "NON_VALLEY_BENCHMARKS",
     "SCHEME_NAMES",
+    "ScenarioSpec",
+    "SchemeSpec",
     "SimulationResult",
     "VALLEY_BENCHMARKS",
     "Workload",
+    "WorkloadSpec",
+    "api",
     "application_entropy_profile",
     "baseline_config",
     "build_scheme",
@@ -90,7 +113,12 @@ __all__ = [
     "has_parallel_bit_valley",
     "hynix_gddr5_map",
     "kernel_entropy_profile",
+    "register_memory",
+    "register_scheme",
+    "register_workload",
+    "registry",
     "simulate",
+    "specs",
     "speedup",
     "stacked_memory_map",
     "stacked_timing",

@@ -24,14 +24,10 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import api
 from ..core.address_map import AddressMap
-from ..core.entropy import (
-    EntropyProfile,
-    application_entropy_profile,
-    translate_kernel_inputs,
-)
+from ..core.entropy import EntropyProfile
 from ..core.schemes import SCHEME_NAMES, MappingScheme
-from ..runner.config import RunConfig
 from ..runner.sweep import SweepRunner
 from ..runner.worker import RunContext
 from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
@@ -130,44 +126,23 @@ class ExperimentRunner:
         window: Optional[int] = None,
     ) -> EntropyProfile:
         """Entropy profile of the *mapped* addresses (paper Fig. 10)."""
-        w = window if window is not None else self.window
-        workload = self.workload(benchmark)
-        scheme = self.scheme(scheme_name, seed=seed)
-        # One batched GF(2) product over the whole trace instead of one
-        # matrix application per Thread Block.
-        kernels = translate_kernel_inputs(
-            workload.entropy_kernel_inputs(), scheme.bim.matrix
-        )
-        return application_entropy_profile(
-            kernels, self.address_map("gddr5"), w,
-            label=f"{benchmark}/{scheme_name}",
-        )
-
-    # ------------------------------------------------------------------
-    # Running
-    # ------------------------------------------------------------------
-    def _config(
-        self,
-        benchmark: str,
-        scheme_name: str,
-        seed: int = 0,
-        n_sms: int = 12,
-        memory: str = "gddr5",
-        scale: Optional[float] = None,
-    ) -> RunConfig:
-        return RunConfig(
-            benchmark=benchmark,
+        return api.entropy_profile(
+            benchmark,
             scheme=scheme_name,
             seed=seed,
-            n_sms=n_sms,
-            memory=memory,
-            scale=scale if scale is not None else self.scale,
-            window=self.window,
-            # RMP's suite profile is always built at the runner's scale,
-            # even when one run overrides the trace scale.
+            scale=self.scale,
+            window=window if window is not None else self.window,
             profile_scale=self.scale,
+            # The scheme itself is always the one run()/sweep() simulate
+            # (built at the runner's window), even when the *analysis*
+            # window is overridden for this one profile.
+            scheme_window=self.window,
+            context=self._context,
         )
 
+    # ------------------------------------------------------------------
+    # Running (routed through the stable repro.api facade)
+    # ------------------------------------------------------------------
     def run(
         self,
         benchmark: str,
@@ -178,8 +153,15 @@ class ExperimentRunner:
         scale: Optional[float] = None,
     ) -> SimulationResult:
         """Run (memoized) one simulation."""
-        return self._sweeper.run_one(
-            self._config(benchmark, scheme_name, seed, n_sms, memory, scale)
+        return api.simulate(
+            benchmark, scheme_name,
+            seed=seed, n_sms=n_sms, memory=memory,
+            scale=scale if scale is not None else self.scale,
+            window=self.window,
+            # RMP's suite profile is always built at the runner's scale,
+            # even when one run overrides the trace scale.
+            profile_scale=self.scale,
+            runner=self._sweeper,
         )
 
     def sweep(
@@ -193,13 +175,15 @@ class ExperimentRunner:
         The whole matrix is handed to the sweep runner as one batch, so
         with ``workers > 1`` the misses simulate in parallel.
         """
-        pairs = [
-            (benchmark, scheme_name)
-            for benchmark in benchmarks
-            for scheme_name in schemes
-        ]
-        configs = [self._config(b, s, **kwargs) for b, s in pairs]
-        return dict(zip(pairs, self._sweeper.run_many(configs)))
+        benchmarks = list(benchmarks)
+        schemes = list(schemes)
+        if kwargs.get("scale") is None:  # absent or explicit None
+            kwargs["scale"] = self.scale
+        return api.run_matrix(
+            benchmarks, schemes,
+            window=self.window, profile_scale=self.scale,
+            runner=self._sweeper, **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -211,8 +195,8 @@ class ExperimentRunner:
         **kwargs,
     ) -> Dict[Tuple[str, str], float]:
         """Speedup over BASE per (benchmark, scheme) — Fig. 12/20."""
-        benchmarks = list(benchmarks)
-        schemes = list(schemes)
+        benchmarks = [b.upper() for b in benchmarks]
+        schemes = [s.upper() for s in schemes]
         results = self.sweep(
             benchmarks, sorted(set(schemes + ["BASE"])), **kwargs
         )
@@ -238,8 +222,8 @@ class ExperimentRunner:
         **kwargs,
     ) -> Dict[Tuple[str, str], float]:
         """Perf/Watt normalized to BASE — Fig. 17."""
-        benchmarks = list(benchmarks)
-        schemes = list(schemes)
+        benchmarks = [b.upper() for b in benchmarks]
+        schemes = [s.upper() for s in schemes]
         results = self.sweep(
             benchmarks, sorted(set(schemes + ["BASE"])), **kwargs
         )

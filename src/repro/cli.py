@@ -3,61 +3,73 @@
 Commands
 --------
 ``schemes``
-    List the six mapping schemes with their hardware cost.
+    List every registered mapping scheme (built-ins plus plugins) with
+    its hardware cost.  ``--register pkg.module:fn`` imports and
+    registers user schemes first.
 ``map``
     Map one address through a scheme and show the DRAM coordinates.
 ``entropy``
-    Window-based entropy profile of a benchmark (ASCII bars + valleys).
+    Window-based entropy profile of a workload (ASCII bars + valleys).
 ``simulate``
-    Run one benchmark under one or more schemes and print the paper's
-    headline metrics.
+    Run one workload under one or more schemes and print the paper's
+    headline metrics (routed through :func:`repro.api.compare`).
 ``sweep``
     Run a (benchmark x scheme x seed x SM-count x memory) grid through
     the parallel sweep runner and emit a machine-readable JSON report.
     Results are cached on disk, so re-runs are near-instant; the JSON
     is byte-identical regardless of worker count or cache state.
-    ``--shard I/N`` runs one deterministic slice of the grid (for
-    distributing a sweep over N machines sharing a cache directory)
-    and emits a partial shard report instead.
+    ``--spec scenario.json`` loads the whole grid from a
+    :class:`~repro.specs.ScenarioSpec` file (which may embed custom
+    scheme/workload specs); ``--shard I/N`` runs one deterministic
+    slice of the grid and emits a partial shard report instead.
 ``merge``
     Combine N shard reports — or a shared cache directory plus the
-    grid flags — into a full report byte-identical to an unsharded
-    ``repro sweep`` of the same grid.
+    grid flags / ``--spec`` — into a full report byte-identical to an
+    unsharded ``repro sweep`` of the same grid.
 ``cache``
     Inspect (``ls``) or evict stale schema versions from (``prune``)
     an on-disk result cache.
 ``export-scheme``
-    Serialize a scheme's BIM to JSON (for RTL generators / configs).
+    Serialize a scheme's realized BIM to JSON (for RTL generators,
+    configs, or re-import on another machine).
+``import-scheme``
+    Validate a scheme file (exported or hand-written spec) and emit
+    the normalized :class:`~repro.specs.SchemeSpec` JSON usable as
+    ``--schemes @file`` or inside a scenario spec.
+
+Anywhere a scheme or benchmark name is accepted, ``@path.json`` loads
+a spec file instead — so custom scenarios flow through the same
+commands as the paper's built-ins.
 
 Examples
 --------
 ::
 
-    python -m repro schemes
+    python -m repro schemes --register mypkg.schemes:my_builder
     python -m repro map 0x12345680 --scheme PAE
     python -m repro entropy MT
     python -m repro simulate SRAD2 --schemes BASE,PM,PAE --scale 0.5
-    python -m repro sweep --benchmarks MT,SP --schemes BASE,PAE -o report.json
+    python -m repro sweep --benchmarks MT,SP --schemes BASE,@my.json -o report.json
+    python -m repro sweep --spec scenario.json -o report.json
     python -m repro sweep --shard 1/4 --cache-dir /shared -o shard1.json
     python -m repro merge shard*.json -o report.json
     python -m repro cache ls --cache-dir .repro-cache
-    python -m repro cache prune --schema-version 1 --cache-dir .repro-cache
     python -m repro export-scheme PAE --seed 1 -o pae.json
+    python -m repro import-scheme pae.json -o pae.spec.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Union
 
-import numpy as np
-
+from . import api, registry
 from .analysis.report import format_table
-from .core import SCHEME_NAMES, build_scheme, find_entropy_valleys, hynix_gddr5_map
-from .core.entropy import application_entropy_profile
+from .core import SCHEME_NAMES, find_entropy_valleys, hynix_gddr5_map
 from .core.serialize import dump_scheme
 from .runner import (
     CACHE_SCHEMA_VERSION,
@@ -70,34 +82,72 @@ from .runner import (
     merge_shard_reports,
     render_report,
     report_from_cache,
-    shard_report,
-    sweep_report,
 )
-from .sim.gpu_system import simulate
-from .sim.results import perf_per_watt_ratio, speedup
-from .workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS, build_workload
+from .specs import ScenarioSpec, SchemeSpec, WorkloadSpec
+from .workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS
 
 __all__ = ["main"]
 
 
+def _scheme_value(text: str) -> Union[str, SchemeSpec]:
+    """A scheme CLI token: a registered name, or ``@file`` for a spec."""
+    text = text.strip()
+    if text.startswith("@"):
+        return SchemeSpec.from_file(text[1:])
+    return text.upper()
+
+
+def _workload_value(text: str) -> Union[str, WorkloadSpec]:
+    """A benchmark CLI token: a registered name, or ``@file`` for a spec."""
+    text = text.strip()
+    if text.startswith("@"):
+        return WorkloadSpec.from_file(text[1:])
+    return text.upper()
+
+
+def _apply_registrations(args) -> None:
+    """Load ``--register`` plugins and export them to worker processes.
+
+    The entry points are appended to :data:`repro.registry.PLUGIN_ENV_VAR`
+    so pool workers (which inherit the environment) register the same
+    entries before validating configs.
+    """
+    entries = [e for e in getattr(args, "register", []) or [] if e.strip()]
+    if not entries:
+        return
+    for entry in entries:
+        registry.load_entry_point(entry)
+    existing = os.environ.get(registry.PLUGIN_ENV_VAR, "").strip()
+    merged = ",".join(filter(None, [existing] + entries))
+    os.environ[registry.PLUGIN_ENV_VAR] = merged
+
+
 def _cmd_schemes(args) -> int:
+    _apply_registrations(args)
     amap = hynix_gddr5_map()
     rows = []
-    for name in SCHEME_NAMES:
-        scheme = build_scheme(name, amap, seed=args.seed)
+    for name in registry.scheme_names():
+        entry = registry.scheme_entry(name)
+        scheme = registry.make_scheme(name, amap, seed=args.seed)
         rows.append([
             name, scheme.strategy, scheme.bim.xor_gate_count(),
             scheme.bim.xor_tree_depth(), scheme.extra_latency_cycles,
+            entry.origin,
         ])
     print(format_table(
-        ["scheme", "strategy", "XOR gates", "tree depth", "latency (cyc)"], rows
+        ["scheme", "strategy", "XOR gates", "tree depth", "latency (cyc)",
+         "origin"],
+        rows,
     ))
     return 0
 
 
 def _cmd_map(args) -> int:
+    _apply_registrations(args)
     amap = hynix_gddr5_map()
-    scheme = build_scheme(args.scheme, amap, seed=args.seed)
+    scheme = SchemeSpec.from_value(_scheme_value(args.scheme)).build(
+        amap, seed=args.seed
+    )
     address = int(args.address, 0)
     if not 0 <= address < amap.capacity:
         print(f"error: address must be within the {amap.width}-bit space",
@@ -117,11 +167,10 @@ def _cmd_map(args) -> int:
 
 
 def _cmd_entropy(args) -> int:
+    _apply_registrations(args)
     amap = hynix_gddr5_map()
-    workload = build_workload(args.benchmark, scale=args.scale)
-    profile = application_entropy_profile(
-        workload.entropy_kernel_inputs(), amap, args.window,
-        label=args.benchmark,
+    profile = api.entropy_profile(
+        _workload_value(args.benchmark), scale=args.scale, window=args.window
     )
     parallel = set(amap.parallel_bits())
     for bit in sorted(amap.non_block_bits(), reverse=True):
@@ -134,20 +183,17 @@ def _cmd_entropy(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    amap = hynix_gddr5_map()
-    workload = build_workload(args.benchmark, scale=args.scale)
-    names = [n.strip().upper() for n in args.schemes.split(",")]
-    if "BASE" not in names:
-        names.insert(0, "BASE")
-    results = {}
-    for name in names:
-        print(f"simulating {args.benchmark} under {name} ...", file=sys.stderr)
-        results[name] = simulate(workload, build_scheme(name, amap, seed=args.seed))
-    base = results["BASE"]
+    _apply_registrations(args)
+    schemes = [_scheme_value(s) for s in args.schemes.split(",") if s.strip()]
+    print(f"simulating {args.benchmark} ...", file=sys.stderr)
+    table = api.compare(
+        _workload_value(args.benchmark), schemes,
+        seed=args.seed, scale=args.scale,
+    )
     rows = [
-        [name, r.cycles, speedup(r, base), r.row_hit_rate * 100,
-         r.channel_parallelism, r.dram_power.total, perf_per_watt_ratio(r, base)]
-        for name, r in results.items()
+        [name, m["cycles"], m["speedup"], m["row_hit_rate"] * 100,
+         m["channel_parallelism"], m["dram_power_watts"], m["perf_per_watt"]]
+        for name, m in table.items()
     ]
     print(format_table(
         ["scheme", "cycles", "speedup", "row-hit %", "chan MLP",
@@ -157,27 +203,34 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _parse_names(text: str) -> List[str]:
+def _parse_names(text: str) -> List[Union[str, WorkloadSpec]]:
     """Split a comma list, honoring the 'valley'/'all' suite shorthands."""
     cleaned = text.strip().lower()
     if cleaned == "valley":
         return list(VALLEY_BENCHMARKS)
     if cleaned == "all":
         return list(ALL_BENCHMARKS)
-    return [part.strip() for part in text.split(",") if part.strip()]
+    return [
+        _workload_value(part) for part in text.split(",") if part.strip()
+    ]
 
 
 def _grid_from_args(args) -> SweepGrid:
     """Build (and eagerly validate) the sweep grid the flags describe."""
-    grid = SweepGrid(
-        benchmarks=tuple(_parse_names(args.benchmarks)),
-        schemes=tuple(s.upper() for s in args.schemes.split(",") if s.strip()),
-        seeds=tuple(int(s) for s in args.seeds.split(",")),
-        n_sms=tuple(int(n) for n in args.n_sms.split(",")),
-        memories=tuple(m.strip() for m in args.memories.split(",")),
-        scale=args.scale,
-        window=args.window,
-    )
+    if getattr(args, "spec", ""):
+        grid = ScenarioSpec.from_file(args.spec).grid()
+    else:
+        grid = SweepGrid(
+            benchmarks=tuple(_parse_names(args.benchmarks)),
+            schemes=tuple(
+                _scheme_value(s) for s in args.schemes.split(",") if s.strip()
+            ),
+            seeds=tuple(int(s) for s in args.seeds.split(",")),
+            n_sms=tuple(int(n) for n in args.n_sms.split(",")),
+            memories=tuple(m.strip() for m in args.memories.split(",")),
+            scale=args.scale,
+            window=args.window,
+        )
     grid.configs()  # validates every axis value before any work
     return grid
 
@@ -204,13 +257,10 @@ def _progress_printer():
 
 
 def _cmd_sweep(args) -> int:
-    try:
-        grid = _grid_from_args(args)
-        shard = ShardSpec.parse(args.shard) if args.shard else None
-        workers = args.workers if args.workers > 0 else default_workers()
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    _apply_registrations(args)
+    grid = _grid_from_args(args)
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+    workers = args.workers if args.workers > 0 else default_workers()
     runner = SweepRunner(
         workers=workers,
         cache_dir=args.cache_dir if args.cache_dir else None,
@@ -218,10 +268,10 @@ def _cmd_sweep(args) -> int:
         progress=_progress_printer() if args.progress else None,
     )
     started = time.perf_counter()
-    if shard is not None:
-        report = shard_report(grid, shard, runner)
-    else:
-        report = sweep_report(grid, runner)
+    try:
+        report = api.sweep(grid, shard=shard, runner=runner)
+    finally:
+        runner.close()  # deterministic pool shutdown (no at-exit races)
     elapsed = time.perf_counter() - started
     if args.progress:
         print(file=sys.stderr)  # terminate the \r progress line
@@ -240,24 +290,21 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_merge(args) -> int:
-    try:
-        if args.shard_reports:
-            reports = []
-            for path in args.shard_reports:
-                with open(path) as handle:
-                    reports.append(json.load(handle))
-            merged = merge_shard_reports(reports)
-        elif args.cache_dir:
-            grid = _grid_from_args(args)
-            merged = report_from_cache(grid, ResultCache(args.cache_dir))
-        else:
-            print(
-                "error: give shard report files, or --cache-dir plus the "
-                "grid flags", file=sys.stderr,
-            )
-            return 2
-    except (MergeError, ValueError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
+    _apply_registrations(args)
+    if args.shard_reports:
+        reports = []
+        for path in args.shard_reports:
+            with open(path) as handle:
+                reports.append(json.load(handle))
+        merged = merge_shard_reports(reports)
+    elif args.cache_dir:
+        grid = _grid_from_args(args)
+        merged = report_from_cache(grid, ResultCache(args.cache_dir))
+    else:
+        print(
+            "error: give shard report files, or --cache-dir plus the "
+            "grid flags", file=sys.stderr,
+        )
         return 2
     _write_report(render_report(merged), args.output)
     print(f"merged {len(merged['runs'])} runs", file=sys.stderr)
@@ -325,10 +372,28 @@ def _cmd_cache_prune(args) -> int:
 
 
 def _cmd_export_scheme(args) -> int:
-    amap = hynix_gddr5_map()
-    scheme = build_scheme(args.scheme, amap, seed=args.seed)
+    _apply_registrations(args)
+    spec = SchemeSpec.from_value(_scheme_value(args.scheme))
+    scheme = spec.build(hynix_gddr5_map(), seed=args.seed)
     dump_scheme(scheme, args.output)
     print(f"wrote {scheme.name} (seed {args.seed}) to {args.output}")
+    return 0
+
+
+def _cmd_import_scheme(args) -> int:
+    _apply_registrations(args)
+    spec = SchemeSpec.from_file(args.scheme_file)
+    # Re-validate: realize the BIM (invertibility is checked by the
+    # constructor) against the reference map before vouching for it.
+    scheme = spec.build(hynix_gddr5_map(), seed=args.seed)
+    text = json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+    _write_report(text, args.output)
+    print(
+        f"imported {spec.name} ({spec.kind}): width {scheme.bim.width}, "
+        f"{scheme.bim.xor_gate_count()} XOR gates, spec hash "
+        f"{spec.spec_hash()[:16]}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -339,46 +404,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("schemes", help="list mapping schemes and hardware cost")
+    def add_register_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--register", action="append", default=[], metavar="PKG.MOD[:FN]",
+            help="import and register a scheme/workload plugin before "
+                 "running (repeatable; exported to worker processes via "
+                 f"${registry.PLUGIN_ENV_VAR})",
+        )
+
+    p = sub.add_parser(
+        "schemes", help="list registered mapping schemes and hardware cost"
+    )
     p.add_argument("--seed", type=int, default=0)
+    add_register_arg(p)
     p.set_defaults(func=_cmd_schemes)
 
     p = sub.add_parser("map", help="map one address through a scheme")
     p.add_argument("address", help="address (decimal or 0x-hex)")
-    p.add_argument("--scheme", default="PAE", choices=SCHEME_NAMES)
+    p.add_argument(
+        "--scheme", default="PAE",
+        help="registered scheme name, or @file for a scheme spec",
+    )
     p.add_argument("--seed", type=int, default=0)
+    add_register_arg(p)
     p.set_defaults(func=_cmd_map)
 
-    p = sub.add_parser("entropy", help="entropy profile of a benchmark")
-    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p = sub.add_parser("entropy", help="entropy profile of a workload")
+    p.add_argument(
+        "benchmark", help="registered benchmark, or @file for a workload spec"
+    )
     p.add_argument("--window", type=int, default=12)
     p.add_argument("--scale", type=float, default=0.5)
+    add_register_arg(p)
     p.set_defaults(func=_cmd_entropy)
 
-    p = sub.add_parser("simulate", help="simulate a benchmark under schemes")
-    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p = sub.add_parser("simulate", help="simulate a workload under schemes")
+    p.add_argument(
+        "benchmark", help="registered benchmark, or @file for a workload spec"
+    )
     p.add_argument("--schemes", default="BASE,PM,PAE",
-                   help="comma-separated scheme names")
+                   help="comma-separated scheme names (or @file specs)")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    add_register_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     def add_grid_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
+            "--spec", default="",
+            help="scenario spec file describing the whole grid "
+                 "(overrides the axis flags below)",
+        )
+        p.add_argument(
             "--benchmarks", default="valley",
-            help="comma-separated names, or 'valley' / 'all' (default: valley)",
+            help="comma-separated names or @file specs, or 'valley' / "
+                 "'all' (default: valley)",
         )
         p.add_argument(
             "--schemes", default=",".join(SCHEME_NAMES),
-            help="comma-separated scheme names (BASE is always added)",
+            help="comma-separated scheme names or @file specs (BASE is "
+                 "always added)",
         )
         p.add_argument("--seeds", default="0", help="comma-separated BIM seeds")
         p.add_argument("--n-sms", default="12", help="comma-separated SM counts")
         p.add_argument(
-            "--memories", default="gddr5", help="comma-separated: gddr5,stacked"
+            "--memories", default="gddr5",
+            help="comma-separated registered memory kinds (gddr5,stacked,...)",
         )
         p.add_argument("--scale", type=float, default=0.5)
         p.add_argument("--window", type=int, default=12)
+        add_register_arg(p)
 
     p = sub.add_parser(
         "sweep", help="run a benchmark x scheme grid, emit a JSON report"
@@ -423,7 +518,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir", default="",
         help="merge straight from a shared result cache instead of shard "
-             "files (requires the grid flags to match the original sweep)",
+             "files (requires the grid flags or --spec to match the "
+             "original sweep)",
     )
     add_grid_args(p)
     p.add_argument(
@@ -453,18 +549,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
 
-    p = sub.add_parser("export-scheme", help="serialize a scheme to JSON")
-    p.add_argument("scheme", choices=SCHEME_NAMES)
+    p = sub.add_parser(
+        "export-scheme", help="serialize a scheme's realized BIM to JSON"
+    )
+    p.add_argument(
+        "scheme", help="registered scheme name, or @file for a scheme spec"
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", default="scheme.json")
+    add_register_arg(p)
     p.set_defaults(func=_cmd_export_scheme)
+
+    p = sub.add_parser(
+        "import-scheme",
+        help="validate a scheme file and emit its normalized spec JSON",
+    )
+    p.add_argument(
+        "scheme_file",
+        help="an exported scheme (export-scheme) or a scheme spec JSON",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "-o", "--output", default="-",
+        help="spec path, or - for stdout (default: -)",
+    )
+    add_register_arg(p)
+    p.set_defaults(func=_cmd_import_scheme)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        # One shared failure path for every command: bad names, spec
+        # files, merge mismatches, missing trace files, stale
+        # $REPRO_PLUGINS imports — including errors raised mid-run,
+        # after validation (e.g. a trace file deleted since its spec
+        # was written).  RegistryError / SpecError / MergeError are all
+        # ValueError subclasses.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -33,12 +33,14 @@ therefore every scheme is a bijection on the address space.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import gf2
+from ..registry import RegistryError, make_scheme, register_scheme
 from .address_map import AddressMap
 from .bim import BinaryInvertibleMatrix
 
@@ -352,31 +354,83 @@ def all_scheme(address_map: AddressMap, seed: int = 0) -> MappingScheme:
 
 
 # ----------------------------------------------------------------------
-# Registry
+# Registry migration: the six paper schemes are just the pre-registered
+# entries of repro.registry.  User schemes register the same way.
 # ----------------------------------------------------------------------
+@register_scheme("BASE", origin="builtin")
+def _registered_base(address_map: AddressMap) -> MappingScheme:
+    """Identity mapping (the Hynix baseline)."""
+    return base_scheme(address_map)
+
+
+@register_scheme("PM", origin="builtin")
+def _registered_pm(address_map: AddressMap) -> MappingScheme:
+    """Permutation-based Mapping (Zhang et al. / Chatterjee et al.)."""
+    return pm_scheme(address_map)
+
+
+@register_scheme("RMP", origin="builtin", needs_entropy_profile=True)
+def _registered_rmp(
+    address_map: AddressMap,
+    entropy_by_bit: Optional[Sequence[float]] = None,
+    source_bits: Optional[Sequence[int]] = None,
+) -> MappingScheme:
+    """Remap strategy (highest-average-entropy bits into bank/channel)."""
+    return rmp_scheme(
+        address_map, entropy_by_bit=entropy_by_bit, source_bits=source_bits
+    )
+
+
+@register_scheme("PAE", origin="builtin")
+def _registered_pae(address_map: AddressMap, seed: int = 0) -> MappingScheme:
+    """Page Address Entropy (the paper's contribution)."""
+    return pae_scheme(address_map, seed=seed)
+
+
+@register_scheme("FAE", origin="builtin")
+def _registered_fae(address_map: AddressMap, seed: int = 0) -> MappingScheme:
+    """Full Address Entropy."""
+    return fae_scheme(address_map, seed=seed)
+
+
+@register_scheme("ALL", origin="builtin")
+def _registered_all(address_map: AddressMap, seed: int = 0) -> MappingScheme:
+    """Randomize every non-block bit from every non-block bit."""
+    return all_scheme(address_map, seed=seed)
+
+
+_BUILD_SCHEME_WARNED = False
+
+
 def build_scheme(
     name: str,
     address_map: AddressMap,
     seed: int = 0,
     entropy_by_bit: Optional[Sequence[float]] = None,
 ) -> MappingScheme:
-    """Build any of the paper's six schemes by name.
+    """Build a registered scheme by name.
+
+    .. deprecated::
+        Use :func:`repro.registry.make_scheme` (any registered scheme)
+        or :meth:`repro.specs.SchemeSpec.build` (serializable specs).
+        This shim keeps old call sites working and warns once.
 
     *seed* selects the BIM instance for the randomized schemes (the
     paper's Figure 19 evaluates three instances per scheme).
     *entropy_by_bit* feeds RMP's source-bit selection when given.
     """
-    key = name.upper()
-    if key == "BASE":
-        return base_scheme(address_map)
-    if key == "PM":
-        return pm_scheme(address_map)
-    if key == "RMP":
-        return rmp_scheme(address_map, entropy_by_bit=entropy_by_bit)
-    if key == "PAE":
-        return pae_scheme(address_map, seed=seed)
-    if key == "FAE":
-        return fae_scheme(address_map, seed=seed)
-    if key == "ALL":
-        return all_scheme(address_map, seed=seed)
-    raise SchemeError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
+    global _BUILD_SCHEME_WARNED
+    if not _BUILD_SCHEME_WARNED:
+        _BUILD_SCHEME_WARNED = True
+        warnings.warn(
+            "build_scheme() is deprecated; use repro.registry.make_scheme() "
+            "or repro.specs.SchemeSpec.build() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    try:
+        return make_scheme(
+            name, address_map, seed=seed, entropy_by_bit=entropy_by_bit
+        )
+    except RegistryError as error:
+        raise SchemeError(str(error)) from None

@@ -43,6 +43,8 @@ __all__ = [
     "load_scheme",
     "canonical_json",
     "stable_hash",
+    "pack_rows",
+    "unpack_rows",
 ]
 
 _FORMAT_BIM = "bim"
@@ -72,12 +74,18 @@ def stable_hash(data) -> str:
     return hashlib.sha256(canonical_json(data).encode("ascii")).hexdigest()
 
 
-def _rows_to_hex(matrix: np.ndarray) -> list:
+def pack_rows(matrix: np.ndarray) -> list:
+    """Pack a GF(2) matrix as one hex string per row (row i = output i).
+
+    The row format shared by scheme files and
+    :class:`~repro.specs.SchemeSpec` literal-BIM payloads.
+    """
     weights = np.uint64(1) << np.arange(matrix.shape[1], dtype=np.uint64)
     return [hex(int((row.astype(np.uint64) * weights).sum())) for row in matrix]
 
 
-def _rows_from_hex(rows, width: int) -> np.ndarray:
+def unpack_rows(rows, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows` (validating the declared width)."""
     matrix = np.zeros((len(rows), width), dtype=np.uint8)
     for i, text in enumerate(rows):
         value = int(text, 16)
@@ -93,7 +101,7 @@ def bim_to_dict(bim: BinaryInvertibleMatrix) -> Dict:
     return {
         "type": _FORMAT_BIM,
         "width": bim.width,
-        "rows": _rows_to_hex(bim.matrix),
+        "rows": pack_rows(bim.matrix),
     }
 
 
@@ -105,7 +113,7 @@ def bim_from_dict(data: Dict) -> BinaryInvertibleMatrix:
     rows = data["rows"]
     if len(rows) != width:
         raise ValueError(f"expected {width} rows, got {len(rows)}")
-    return BinaryInvertibleMatrix(_rows_from_hex(rows, width))
+    return BinaryInvertibleMatrix(unpack_rows(rows, width))
 
 
 def scheme_to_dict(scheme: MappingScheme) -> Dict:
@@ -119,7 +127,7 @@ def scheme_to_dict(scheme: MappingScheme) -> Dict:
         "name": scheme.name,
         "strategy": scheme.strategy,
         "width": scheme.bim.width,
-        "rows": _rows_to_hex(scheme.bim.matrix),
+        "rows": pack_rows(scheme.bim.matrix),
         "extra_latency_cycles": scheme.extra_latency_cycles,
         "metadata": metadata,
     }
@@ -135,7 +143,7 @@ def scheme_from_dict(data: Dict, address_map: AddressMap) -> MappingScheme:
             f"serialized width {width} does not match address map width "
             f"{address_map.width}"
         )
-    bim = BinaryInvertibleMatrix(_rows_from_hex(data["rows"], width))
+    bim = BinaryInvertibleMatrix(unpack_rows(data["rows"], width))
     return MappingScheme(
         name=str(data["name"]),
         bim=bim,

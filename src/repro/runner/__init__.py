@@ -43,8 +43,12 @@ Cache layout
 where ``hh`` is the first two hex characters of the key (a fan-out
 directory so no single directory grows huge).  The key is a SHA-256
 over the canonical JSON of the full :class:`~repro.runner.config.RunConfig`
-— benchmark, scheme, BIM seed, SM count, memory technology, trace
-scale, entropy window, RMP profile scale — plus a schema version
+— workload spec, scheme spec, BIM seed, SM count, memory technology,
+trace scale, entropy window, RMP profile scale — plus a schema version.
+Registered names hash as bare strings; custom specs
+(:mod:`repro.specs`) hash their canonical JSON content (a trace
+workload hashes its file's SHA-256, not its path), so user-defined
+scenarios are content-addressed exactly like built-ins
 (:data:`~repro.runner.config.CACHE_SCHEMA_VERSION`) that is bumped
 whenever a simulator change alters what a config computes.  Changing
 *any* config field therefore changes the key (a fresh run), and stale

@@ -186,8 +186,8 @@ class ResultCache:
                 "schema": CACHE_SCHEMA_VERSION,
                 "wall_seconds": round(float(wall_seconds), 6),
                 "events": result.metadata.get("events"),
-                "benchmark": config.benchmark,
-                "scheme": config.scheme,
+                "benchmark": config.benchmark_name,
+                "scheme": config.scheme_name,
                 "scale": config.scale,
                 "n_sms": config.n_sms,
                 "memory": config.memory,

@@ -1,12 +1,24 @@
 """Run configurations and the sweep grid.
 
 A :class:`RunConfig` pins *everything* that determines one simulation's
-outcome: the benchmark, the mapping scheme (and its BIM seed), the SM
+outcome: the workload, the mapping scheme (and its BIM seed), the SM
 count, the memory technology, the trace scale, and the entropy-window
 parameters the RMP scheme derives its bit choice from.  Because the
 simulator is fully deterministic, two equal configs always produce the
 same :class:`~repro.sim.results.SimulationResult` — which is what makes
 the content-addressed result cache sound.
+
+Workloads and schemes are held as :class:`~repro.specs.WorkloadSpec` /
+:class:`~repro.specs.SchemeSpec` — the serializable open-world forms —
+so a custom BIM, stage pipeline, pattern recipe or trace file flows
+through the cache/shard/claim/merge machinery exactly like a built-in
+name.  Plain registered names serialize as bare strings in
+:meth:`RunConfig.to_dict`, keeping built-in cache keys byte-identical
+to the pre-spec format (no cache invalidation, no report churn).
+
+Passing bare strings to ``RunConfig`` itself still works but is
+deprecated (one warning per process); :class:`SweepGrid`,
+:mod:`repro.api` and the CLI normalize names for you.
 
 :class:`SweepGrid` expands the cross product (benchmarks x schemes x
 seeds x SM counts x memories) into a deterministically ordered list of
@@ -16,12 +28,15 @@ normalizes against.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
-from typing import Dict, Iterator, List, Tuple
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.schemes import SCHEME_NAMES
 from ..core.serialize import stable_hash
-from ..workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS
+from ..registry import RegistryError, memory_entry
+from ..specs import SchemeSpec, WorkloadSpec
+from ..workloads.suite import VALLEY_BENCHMARKS
 
 __all__ = ["RunConfig", "SweepGrid", "CACHE_SCHEMA_VERSION"]
 
@@ -33,42 +48,84 @@ __all__ = ["RunConfig", "SweepGrid", "CACHE_SCHEMA_VERSION"]
 # queue) changed event interleaving, shifting figure tables slightly.
 CACHE_SCHEMA_VERSION = 2
 
-_MEMORIES = ("gddr5", "stacked")
+_STRING_FORM_WARNED = False
+
+
+def _warn_string_form(field: str, value: str) -> None:
+    """One DeprecationWarning per process for bare-name RunConfigs."""
+    global _STRING_FORM_WARNED
+    if _STRING_FORM_WARNED:
+        return
+    _STRING_FORM_WARNED = True
+    warnings.warn(
+        f"passing bare names to RunConfig (here {field}={value!r}) is "
+        f"deprecated; pass repro.specs.WorkloadSpec / SchemeSpec objects, "
+        f"or go through SweepGrid / repro.api which normalize names",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _validate_memory(memory: str) -> str:
+    memory = str(memory).strip().lower()
+    try:
+        memory_entry(memory)
+    except RegistryError as error:
+        raise ValueError(str(error)) from None
+    return memory
 
 
 @dataclass(frozen=True)
 class RunConfig:
     """Everything that determines one simulation run.
 
-    ``profile_scale`` is the trace scale the RMP scheme's suite-average
-    entropy profile is computed at; it matters only for RMP but is part
-    of every config so the hash never depends on scheme-specific logic.
+    ``benchmark`` and ``scheme`` are specs (bare-name strings are
+    normalized with a deprecation warning); ``benchmark_name`` /
+    ``scheme_name`` give the display names.  ``profile_scale`` is the
+    trace scale the RMP scheme's suite-average entropy profile is
+    computed at; it matters only for RMP but is part of every config so
+    the hash never depends on scheme-specific logic.
     """
 
-    benchmark: str
-    scheme: str
+    benchmark: WorkloadSpec
+    scheme: SchemeSpec
     seed: int = 0
     n_sms: int = 12
     memory: str = "gddr5"
     scale: float = 1.0
     window: int = 12
-    profile_scale: float = None  # type: ignore[assignment]
+    profile_scale: Optional[float] = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "benchmark", self.benchmark.upper())
-        object.__setattr__(self, "scheme", self.scheme.upper())
+        benchmark = self.benchmark
+        if isinstance(benchmark, str):
+            _warn_string_form("benchmark", benchmark)
+            benchmark = WorkloadSpec.registered(benchmark)
+        elif not isinstance(benchmark, WorkloadSpec):
+            benchmark = WorkloadSpec.from_value(benchmark)
+        scheme = self.scheme
+        if isinstance(scheme, str):
+            _warn_string_form("scheme", scheme)
+            scheme = SchemeSpec.registered(scheme)
+        elif not isinstance(scheme, SchemeSpec):
+            scheme = SchemeSpec.from_value(scheme)
+        object.__setattr__(self, "benchmark", benchmark)
+        object.__setattr__(self, "scheme", scheme)
+        object.__setattr__(self, "memory", _validate_memory(self.memory))
         if self.profile_scale is None:
             object.__setattr__(self, "profile_scale", self.scale)
-        if self.benchmark not in ALL_BENCHMARKS:
-            raise ValueError(
-                f"unknown benchmark {self.benchmark!r}; expected one of {ALL_BENCHMARKS}"
-            )
-        if self.scheme not in SCHEME_NAMES:
-            raise ValueError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEME_NAMES}"
-            )
-        if self.memory not in _MEMORIES:
-            raise ValueError(f"unknown memory kind {self.memory!r}; expected {_MEMORIES}")
+        # Registered names must resolve now, not at execution time.
+        try:
+            if benchmark.kind == "registered":
+                from ..registry import workload_entry
+
+                workload_entry(benchmark.name)
+            if scheme.kind == "registered":
+                from ..registry import scheme_entry
+
+                scheme_entry(scheme.name)
+        except RegistryError as error:
+            raise ValueError(str(error)) from None
         if self.n_sms <= 0:
             raise ValueError(f"n_sms must be positive, got {self.n_sms}")
         if self.scale <= 0 or self.profile_scale <= 0:
@@ -76,15 +133,42 @@ class RunConfig:
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
 
+    # -- display ---------------------------------------------------------
+    @property
+    def benchmark_name(self) -> str:
+        """Display name of the workload (report keys, sidecars, logs)."""
+        return self.benchmark.name
+
+    @property
+    def scheme_name(self) -> str:
+        """Display name of the mapping scheme."""
+        return self.scheme.name
+
+    # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe dict; round-trips through :meth:`from_dict`."""
-        return asdict(self)
+        """JSON-safe dict; round-trips through :meth:`from_dict`.
+
+        Plain registered specs collapse to bare name strings, so the
+        dict (and everything derived from it: cache records, reports,
+        worker payloads) is byte-identical to the pre-spec format for
+        built-in scenarios.
+        """
+        return {
+            "benchmark": self.benchmark.compact(),
+            "scheme": self.scheme.compact(),
+            "seed": self.seed,
+            "n_sms": self.n_sms,
+            "memory": self.memory,
+            "scale": self.scale,
+            "window": self.window,
+            "profile_scale": self.profile_scale,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunConfig":
         return cls(
-            benchmark=str(data["benchmark"]),
-            scheme=str(data["scheme"]),
+            benchmark=WorkloadSpec.from_value(data["benchmark"]),
+            scheme=SchemeSpec.from_value(data["scheme"]),
             seed=int(data["seed"]),
             n_sms=int(data["n_sms"]),
             memory=str(data["memory"]),
@@ -97,29 +181,51 @@ class RunConfig:
         """Stable content hash: the on-disk cache key for this run.
 
         Mixes in :data:`CACHE_SCHEMA_VERSION` so simulator changes
-        invalidate old records wholesale.
+        invalidate old records wholesale.  Specs contribute their
+        *identity* form — e.g. a trace workload hashes its file's
+        SHA-256, not its path — so equivalent scenarios share records.
         """
         payload = self.to_dict()
+        payload["benchmark"] = self.benchmark.identity()
+        payload["scheme"] = self.scheme.identity()
         payload["__schema__"] = CACHE_SCHEMA_VERSION
         return stable_hash(payload)
 
     def baseline(self) -> "RunConfig":
         """The BASE run this config's speedup / perf-per-watt is measured against."""
-        return replace(self, scheme="BASE")
+        return replace(self, scheme=SchemeSpec.registered("BASE"))
+
+
+def unique_names(specs, axis: str) -> None:
+    """Reject two *different* specs sharing one display name.
+
+    Report tables, ``api.run_matrix`` results and baseline lookups are
+    keyed by name, so a collision would silently overwrite results.
+    Exact duplicates are fine (same identity, same records).
+    """
+    by_name: Dict[str, object] = {}
+    for spec in specs:
+        other = by_name.setdefault(spec.name, spec)
+        if other != spec:
+            raise ValueError(
+                f"two different {axis} share the name {spec.name!r}; report "
+                f"tables are keyed by name, so names must be unique per grid"
+            )
 
 
 @dataclass(frozen=True)
 class SweepGrid:
     """A (benchmark x scheme x seed x n_sms x memory) cross product.
 
-    ``configs()`` yields the grid in a fixed, documented order —
-    benchmarks outermost, then schemes, seeds, SM counts, memories —
-    so sweep reports are reproducible independent of how the runs were
-    scheduled across workers.
+    Benchmark and scheme axes accept names, spec dicts or spec objects
+    (normalized to specs).  ``configs()`` yields the grid in a fixed,
+    documented order — benchmarks outermost, then schemes, seeds, SM
+    counts, memories — so sweep reports are reproducible independent of
+    how the runs were scheduled across workers.
     """
 
-    benchmarks: Tuple[str, ...] = VALLEY_BENCHMARKS
-    schemes: Tuple[str, ...] = SCHEME_NAMES
+    benchmarks: Tuple[Union[str, WorkloadSpec], ...] = VALLEY_BENCHMARKS
+    schemes: Tuple[Union[str, SchemeSpec], ...] = SCHEME_NAMES
     seeds: Tuple[int, ...] = (0,)
     n_sms: Tuple[int, ...] = (12,)
     memories: Tuple[str, ...] = ("gddr5",)
@@ -127,21 +233,33 @@ class SweepGrid:
     window: int = 12
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "benchmarks", tuple(b.upper() for b in self.benchmarks))
-        object.__setattr__(self, "schemes", tuple(s.upper() for s in self.schemes))
-        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
-        object.__setattr__(self, "n_sms", tuple(int(n) for n in self.n_sms))
-        object.__setattr__(self, "memories", tuple(self.memories))
         for name in ("benchmarks", "schemes", "seeds", "n_sms", "memories"):
             if not getattr(self, name):
                 raise ValueError(f"sweep grid needs at least one entry in {name!r}")
+        object.__setattr__(self, "benchmarks", tuple(
+            WorkloadSpec.from_value(b) for b in self.benchmarks
+        ))
+        object.__setattr__(self, "schemes", tuple(
+            SchemeSpec.from_value(s) for s in self.schemes
+        ))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "n_sms", tuple(int(n) for n in self.n_sms))
+        object.__setattr__(self, "memories", tuple(
+            str(m).lower() for m in self.memories
+        ))
+        unique_names(self.benchmarks, "benchmarks")
+        # Validate over run_schemes, not the raw axis: it includes the
+        # auto-inserted BASE baseline, so a *custom* spec named "BASE"
+        # collides here instead of silently corrupting report tables.
+        unique_names(self.run_schemes, "schemes")
 
     @property
-    def run_schemes(self) -> Tuple[str, ...]:
+    def run_schemes(self) -> Tuple[SchemeSpec, ...]:
         """Schemes actually simulated: the requested ones plus BASE."""
-        if "BASE" in self.schemes:
+        base = SchemeSpec.registered("BASE")
+        if base in self.schemes:
             return self.schemes
-        return ("BASE",) + self.schemes
+        return (base,) + self.schemes
 
     def configs(self) -> List[RunConfig]:
         """The full grid as an ordered list of run configurations."""
@@ -165,8 +283,8 @@ class SweepGrid:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "benchmarks": list(self.benchmarks),
-            "schemes": list(self.schemes),
+            "benchmarks": [b.compact() for b in self.benchmarks],
+            "schemes": [s.compact() for s in self.schemes],
             "seeds": list(self.seeds),
             "n_sms": list(self.n_sms),
             "memories": list(self.memories),
@@ -183,8 +301,8 @@ class SweepGrid:
         order matches a single-machine sweep's.
         """
         return cls(
-            benchmarks=tuple(str(b) for b in data["benchmarks"]),
-            schemes=tuple(str(s) for s in data["schemes"]),
+            benchmarks=tuple(data["benchmarks"]),
+            schemes=tuple(data["schemes"]),
             seeds=tuple(int(s) for s in data["seeds"]),
             n_sms=tuple(int(n) for n in data["n_sms"]),
             memories=tuple(str(m) for m in data["memories"]),

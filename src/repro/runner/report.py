@@ -76,13 +76,14 @@ def _metric_tables(
         result = by_key[config.config_hash()]
         if multi:
             variant = (
-                f"{config.scheme}@seed={config.seed},n_sms={config.n_sms},"
+                f"{config.scheme_name}@seed={config.seed},n_sms={config.n_sms},"
                 f"memory={config.memory}"
             )
         else:
-            variant = config.scheme
-        speedups.setdefault(variant, {})[config.benchmark] = speedup(result, base)
-        perf_per_watt.setdefault(variant, {})[config.benchmark] = (
+            variant = config.scheme_name
+        benchmark = config.benchmark_name
+        speedups.setdefault(variant, {})[benchmark] = speedup(result, base)
+        perf_per_watt.setdefault(variant, {})[benchmark] = (
             perf_per_watt_ratio(result, base)
         )
     return {"speedup": speedups, "perf_per_watt": perf_per_watt}
@@ -201,7 +202,7 @@ def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object
     missing_configs = [c for c in configs if c.config_hash() not in by_key]
     if missing_configs:
         names = ", ".join(
-            f"{c.benchmark}/{c.scheme}" for c in missing_configs[:8]
+            f"{c.benchmark_name}/{c.scheme_name}" for c in missing_configs[:8]
         )
         raise MergeError(
             f"{len(missing_configs)} grid config(s) missing from the shard "
@@ -228,7 +229,7 @@ def report_from_cache(grid: SweepGrid, cache: ResultCache) -> Dict[str, object]:
         else:
             results.append(result)
     if missing:
-        names = ", ".join(f"{c.benchmark}/{c.scheme}" for c in missing[:8])
+        names = ", ".join(f"{c.benchmark_name}/{c.scheme_name}" for c in missing[:8])
         raise MergeError(
             f"{len(missing)} grid config(s) not in cache {cache.root} "
             f"(first: {names}) — did every shard sweep finish?"

@@ -13,6 +13,9 @@ partition must satisfy three invariants, all enforced by tests:
 Ownership is decided by rendezvous (highest-random-weight) hashing of
 each config's cache key: shard *i* owns a key when
 ``sha256("shard=i:" + key)`` is the largest weight among all shards.
+Because the key is the config's content hash, custom spec-based
+scenarios (:mod:`repro.specs`) partition exactly like built-in names —
+sharding never needs to understand what a config *contains*.
 Because the weight of shard *i* for a given key does not depend on
 *N*, growing the shard count only moves keys onto the new shards —
 every key that stays keeps its owner (the classic HRW property), which

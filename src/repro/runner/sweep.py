@@ -166,13 +166,13 @@ def estimate_runtimes(
     estimates = []
     for config in configs:
         key = (
-            config.benchmark, config.scheme, config.scale,
+            config.benchmark_name, config.scheme_name, config.scale,
             config.n_sms, config.memory,
         )
         if key in exact:
             estimates.append(mean(exact[key]))
-        elif config.benchmark in bench_rates:
-            estimates.append(mean(bench_rates[config.benchmark]) * config.scale)
+        elif config.benchmark_name in bench_rates:
+            estimates.append(mean(bench_rates[config.benchmark_name]) * config.scale)
         elif global_rates:
             estimates.append(mean(global_rates) * config.scale)
         else:

@@ -16,24 +16,24 @@ computed at most once per worker per (memory, scale, window) triple.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.address_map import AddressMap, hynix_gddr5_map
+from ..core.address_map import AddressMap
 from ..core.entropy import (
     EntropyProfile,
     application_entropy_profile,
     average_entropy_profile,
 )
-from ..core.schemes import MappingScheme, build_scheme
-from ..dram.stacked import StackedMemoryConfig, stacked_memory_config
-from ..dram.timing import DRAMTiming, gddr5_timing
+from ..core.schemes import MappingScheme
 from ..gpu.config import config_with_sms
+from ..registry import memory_config
 from ..sim.gpu_system import GPUSystem
 from ..sim.results import SimulationResult
+from ..specs import SchemeSpec, WorkloadSpec
 from ..workloads.base import Workload
-from ..workloads.suite import ALL_BENCHMARKS, build_workload
+from ..workloads.suite import ALL_BENCHMARKS
 from .config import RunConfig
 
 __all__ = [
@@ -52,51 +52,52 @@ class RunContext:
     """
 
     def __init__(self) -> None:
-        self._workloads: Dict[Tuple[str, float], Workload] = {}
-        self._profiles: Dict[Tuple[str, str, float, int], EntropyProfile] = {}
+        self._workloads: Dict[Tuple[WorkloadSpec, float], Workload] = {}
+        self._profiles: Dict[
+            Tuple[WorkloadSpec, str, float, int], EntropyProfile
+        ] = {}
         self._suite_profiles: Dict[Tuple[str, float, int], np.ndarray] = {}
-        self._schemes: Dict[Tuple[str, int, str, float, int], MappingScheme] = {}
-        self._gddr5_map: Optional[AddressMap] = None
-        self._stacked: Optional[StackedMemoryConfig] = None
+        self._schemes: Dict[
+            Tuple[SchemeSpec, int, str, float, int], MappingScheme
+        ] = {}
 
     # -- immutable hardware descriptions --------------------------------
-    def gddr5_map(self) -> AddressMap:
-        if self._gddr5_map is None:
-            self._gddr5_map = hynix_gddr5_map()
-        return self._gddr5_map
-
-    def stacked(self) -> StackedMemoryConfig:
-        if self._stacked is None:
-            self._stacked = stacked_memory_config()
-        return self._stacked
-
     def address_map(self, memory: str) -> AddressMap:
-        if memory == "gddr5":
-            return self.gddr5_map()
-        if memory == "stacked":
-            return self.stacked().address_map
-        raise ValueError(f"unknown memory kind {memory!r}")
+        """The address map of a registered memory technology.
+
+        Served from :func:`repro.registry.memory_config`, which
+        memoizes per process.
+        """
+        return memory_config(memory).address_map
 
     # -- memoized inputs -------------------------------------------------
-    def workload(self, benchmark: str, scale: float) -> Workload:
-        key = (benchmark, scale)
+    def workload(
+        self, benchmark: Union[str, WorkloadSpec], scale: float
+    ) -> Workload:
+        spec = WorkloadSpec.from_value(benchmark)
+        key = (spec, scale)
         if key not in self._workloads:
-            self._workloads[key] = build_workload(benchmark, scale=scale)
+            self._workloads[key] = spec.build(scale=scale)
         return self._workloads[key]
 
     def entropy_profile(
-        self, benchmark: str, memory: str, scale: float, window: int
+        self,
+        benchmark: Union[str, WorkloadSpec],
+        memory: str,
+        scale: float,
+        window: int,
     ) -> EntropyProfile:
-        """Window-based entropy profile of one benchmark (BASE addresses).
+        """Window-based entropy profile of one workload (BASE addresses).
 
         Shared memo for both the figure scripts and RMP construction,
         so each expensive profile is computed once per process.
         """
-        key = (benchmark, memory, scale, window)
+        spec = WorkloadSpec.from_value(benchmark)
+        key = (spec, memory, scale, window)
         if key not in self._profiles:
             self._profiles[key] = application_entropy_profile(
-                self.workload(benchmark, scale).entropy_kernel_inputs(),
-                self.address_map(memory), window, label=benchmark,
+                self.workload(spec, scale).entropy_kernel_inputs(),
+                self.address_map(memory), window, label=spec.name,
             )
         return self._profiles[key]
 
@@ -114,21 +115,22 @@ class RunContext:
 
     def scheme(
         self,
-        name: str,
+        scheme: Union[str, SchemeSpec],
         seed: int,
         memory: str,
         profile_scale: float,
         window: int,
     ) -> MappingScheme:
-        key = (name, seed, memory, profile_scale, window)
+        spec = SchemeSpec.from_value(scheme)
+        key = (spec, seed, memory, profile_scale, window)
         if key not in self._schemes:
             entropy_by_bit = None
-            if name.upper() == "RMP":
+            if spec.needs_entropy_profile():
                 entropy_by_bit = self.suite_average_entropy(
                     memory, profile_scale, window
                 )
-            self._schemes[key] = build_scheme(
-                name, self.address_map(memory), seed=seed,
+            self._schemes[key] = spec.build(
+                self.address_map(memory), seed=seed,
                 entropy_by_bit=entropy_by_bit,
             )
         return self._schemes[key]
@@ -141,18 +143,12 @@ class RunContext:
             config.scheme, config.seed, config.memory,
             config.profile_scale, config.window,
         )
-        if config.memory == "gddr5":
-            timing: DRAMTiming = gddr5_timing()
-            power_params = None
-        else:
-            stacked = self.stacked()
-            timing = stacked.timing
-            power_params = stacked.power_params
+        memory = memory_config(config.memory)
         system = GPUSystem(
             scheme,
             config=config_with_sms(config.n_sms),
-            timing=timing,
-            dram_power_params=power_params,
+            timing=memory.timing,
+            dram_power_params=memory.power_params,
         )
         return system.run(workload)
 

@@ -2,6 +2,7 @@
 
 from .base import KernelTrace, TBTrace, Workload, WarpTrace
 from .io import load_workload, save_workload
+from .recipes import PATTERNS, RecipeError, build_recipe_workload, validate_recipe
 from .patterns import (
     TXN_BYTES,
     align,
@@ -30,6 +31,10 @@ __all__ = [
     "ALL_BENCHMARKS",
     "BENCHMARK_BUILDERS",
     "KernelTrace",
+    "PATTERNS",
+    "RecipeError",
+    "build_recipe_workload",
+    "validate_recipe",
     "NON_VALLEY_BENCHMARKS",
     "TABLE2",
     "TBTrace",

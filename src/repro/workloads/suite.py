@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import registry
 from .base import KernelTrace, TBTrace, Workload, WarpTrace
 from .patterns import (
     TXN_BYTES,
@@ -676,7 +677,8 @@ def dwt2d_kernel1(scale: float = 1.0, seed: int = 18) -> Workload:
 
 
 # ----------------------------------------------------------------------
-# Registry
+# Registry: the Table II suite is just the pre-registered entries of
+# repro.registry — user workloads register the same way.
 # ----------------------------------------------------------------------
 BENCHMARK_BUILDERS: Dict[str, Callable[..., Workload]] = {
     "MT": mt, "LU": lu, "GS": gs, "NW": nw, "LPS": lps, "SC": sc,
@@ -684,16 +686,17 @@ BENCHMARK_BUILDERS: Dict[str, Callable[..., Workload]] = {
     "FWT": fwt, "NN": nn, "SPMV": spmv, "LM": lm, "MUM": mum, "BFS": bfs,
 }
 
+for _abbr, _builder in BENCHMARK_BUILDERS.items():
+    registry.register_workload(_abbr, origin="builtin")(_builder)
+del _abbr, _builder
+
 
 def build_workload(abbr: str, scale: float = 1.0) -> Workload:
-    """Build one benchmark by its Table II abbreviation."""
+    """Build one registered workload by name (Table II or user-registered)."""
     try:
-        builder = BENCHMARK_BUILDERS[abbr.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown benchmark {abbr!r}; expected one of {ALL_BENCHMARKS}"
-        ) from None
-    return builder(scale=scale)
+        return registry.make_workload(abbr, scale=scale)
+    except registry.RegistryError as error:
+        raise ValueError(str(error)) from None
 
 
 def build_suite(

@@ -44,6 +44,12 @@ class TestRunnerCaching:
     def test_entropy_profile_cached(self, runner):
         assert runner.entropy_profile("SP") is runner.entropy_profile("SP")
 
+    def test_sweep_accepts_explicit_none_scale(self, runner):
+        # scale=None means "the runner's scale", matching run().
+        by_default = runner.sweep(["SP"], ["BASE"])
+        by_none = runner.sweep(["SP"], ["BASE"], scale=None)
+        assert by_none[("SP", "BASE")] is by_default[("SP", "BASE")]
+
 
 class TestRunnerViews:
     def test_speedups_normalized_to_base(self, runner):

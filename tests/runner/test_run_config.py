@@ -3,18 +3,30 @@
 import os
 import subprocess
 import sys
+import warnings
 from dataclasses import replace
 
 import pytest
 
+from repro.runner import config as config_module
 from repro.runner.config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+from repro.specs import SchemeSpec, WorkloadSpec
 
 
 class TestRunConfig:
     def test_normalizes_case(self):
         config = RunConfig("mt", "pae")
-        assert config.benchmark == "MT"
-        assert config.scheme == "PAE"
+        assert config.benchmark_name == "MT"
+        assert config.scheme_name == "PAE"
+        assert config.benchmark == WorkloadSpec.registered("MT")
+        assert config.scheme == SchemeSpec.registered("PAE")
+
+    def test_accepts_spec_objects(self):
+        config = RunConfig(
+            benchmark=WorkloadSpec.registered("MT"),
+            scheme=SchemeSpec.registered("PAE"),
+        )
+        assert config == RunConfig("MT", "PAE")
 
     def test_profile_scale_defaults_to_scale(self):
         assert RunConfig("MT", "PAE", scale=0.5).profile_scale == 0.5
@@ -45,11 +57,62 @@ class TestRunConfig:
                            scale=0.5, window=8)
         assert RunConfig.from_dict(config.to_dict()) == config
 
+    def test_to_dict_keeps_bare_names_for_builtins(self):
+        """Plain registered specs serialize as strings (cache-key stable)."""
+        data = RunConfig("MT", "PAE").to_dict()
+        assert data["benchmark"] == "MT"
+        assert data["scheme"] == "PAE"
+
     def test_baseline_swaps_scheme_only(self):
         config = RunConfig("LU", "FAE", seed=3, n_sms=24, scale=0.5)
         base = config.baseline()
-        assert base.scheme == "BASE"
-        assert base == replace(config, scheme="BASE")
+        assert base.scheme_name == "BASE"
+        assert base == replace(config, scheme=SchemeSpec.registered("BASE"))
+
+
+class TestDeprecatedStringForm:
+    def test_bare_names_warn_exactly_once(self, monkeypatch):
+        monkeypatch.setattr(config_module, "_STRING_FORM_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = RunConfig("MT", "PAE")
+            RunConfig("LU", "FAE")  # second string config: no second warning
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "deprecated" in str(deprecations[0].message)
+        # The shim keeps working: the config is fully normalized.
+        assert config.scheme == SchemeSpec.registered("PAE")
+
+    def test_spec_form_never_warns(self, monkeypatch):
+        monkeypatch.setattr(config_module, "_STRING_FORM_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RunConfig(
+                benchmark=WorkloadSpec.registered("MT"),
+                scheme=SchemeSpec.registered("PAE"),
+            )
+            SweepGrid(benchmarks=("MT",), schemes=("PAE",)).configs()
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_build_scheme_warns_once_and_works(self, monkeypatch):
+        from repro.core import schemes as schemes_module
+        from repro.core.address_map import hynix_gddr5_map
+
+        monkeypatch.setattr(schemes_module, "_BUILD_SCHEME_WARNED", False)
+        amap = hynix_gddr5_map()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = schemes_module.build_scheme("PAE", amap, seed=1)
+            second = schemes_module.build_scheme("PAE", amap, seed=1)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert first.bim == second.bim  # still builds the same scheme
 
 
 class TestConfigHash:
@@ -62,8 +125,8 @@ class TestConfigHash:
         base = RunConfig("MT", "PAE", seed=0, n_sms=12, memory="gddr5",
                          scale=1.0, window=12, profile_scale=1.0)
         variants = [
-            replace(base, benchmark="LU"),
-            replace(base, scheme="FAE"),
+            replace(base, benchmark=WorkloadSpec.registered("LU")),
+            replace(base, scheme=SchemeSpec.registered("FAE")),
             replace(base, seed=1),
             replace(base, n_sms=24),
             replace(base, memory="stacked"),
@@ -73,6 +136,21 @@ class TestConfigHash:
         ]
         hashes = {base.config_hash()} | {v.config_hash() for v in variants}
         assert len(hashes) == len(variants) + 1
+
+    def test_custom_spec_hashes_differ_from_builtin(self):
+        from repro.core.address_map import hynix_gddr5_map
+        from repro.registry import make_scheme
+
+        pae = make_scheme("PAE", hynix_gddr5_map(), seed=0)
+        literal = SchemeSpec.from_scheme(pae)
+        named = RunConfig("MT", "PAE")
+        snapshot = RunConfig("MT", literal)
+        # Same realized matrix, different identity: the registered name
+        # hashes the name, the literal spec hashes its content.
+        assert named.config_hash() != snapshot.config_hash()
+        # But the literal spec round-trips to the same key.
+        again = RunConfig.from_dict(snapshot.to_dict())
+        assert again.config_hash() == snapshot.config_hash()
 
     def test_hash_stable_across_processes(self):
         """The cache key must not depend on interpreter hash randomization."""
@@ -101,7 +179,7 @@ class TestConfigHash:
 class TestSweepGrid:
     def test_base_always_included(self):
         grid = SweepGrid(benchmarks=("MT",), schemes=("PAE",))
-        schemes = {c.scheme for c in grid.configs()}
+        schemes = {c.scheme_name for c in grid.configs()}
         assert schemes == {"BASE", "PAE"}
 
     def test_base_not_duplicated(self):
@@ -114,7 +192,7 @@ class TestSweepGrid:
         configs = grid.configs()
         assert configs == grid.configs()
         # Benchmarks outermost, in the order given.
-        assert [c.benchmark for c in configs[: len(configs) // 2]] == \
+        assert [c.benchmark_name for c in configs[: len(configs) // 2]] == \
             ["SP"] * (len(configs) // 2)
 
     def test_empty_axis_rejected(self):
@@ -125,3 +203,25 @@ class TestSweepGrid:
         import json
 
         json.dumps(SweepGrid().to_dict())
+
+    def test_grid_accepts_spec_entries_and_round_trips(self):
+        custom = SchemeSpec.stages(
+            "MYX", [{"op": "xor", "target": 8, "sources": [20, 21]}]
+        )
+        grid = SweepGrid(benchmarks=("SP",), schemes=("PAE", custom))
+        rebuilt = SweepGrid.from_dict(grid.to_dict())
+        assert rebuilt == grid
+        assert {c.scheme_name for c in grid.configs()} == {"BASE", "PAE", "MYX"}
+
+    def test_colliding_names_rejected(self):
+        a = SchemeSpec.stages("MYX", [{"op": "swap", "a": 8, "b": 20}])
+        b = SchemeSpec.stages("MYX", [{"op": "swap", "a": 9, "b": 21}])
+        with pytest.raises(ValueError, match="name"):
+            SweepGrid(benchmarks=("SP",), schemes=(a, b))
+
+    def test_custom_scheme_named_base_rejected(self):
+        # The auto-inserted BASE baseline is matched by name; a custom
+        # spec called BASE would silently steal its report rows.
+        impostor = SchemeSpec.stages("BASE", [{"op": "swap", "a": 8, "b": 20}])
+        with pytest.raises(ValueError, match="name"):
+            SweepGrid(benchmarks=("SP",), schemes=(impostor,))

@@ -209,6 +209,142 @@ class TestExport:
         scheme = load_scheme(path, hynix_gddr5_map())
         assert scheme.name == "PAE"
 
+    def test_export_import_export_is_stable(self, tmp_path, capsys):
+        exported = tmp_path / "fae.json"
+        spec_path = tmp_path / "fae.spec.json"
+        re_exported = tmp_path / "fae2.json"
+        assert main(["export-scheme", "FAE", "-o", str(exported)]) == 0
+        assert main([
+            "import-scheme", str(exported), "-o", str(spec_path),
+        ]) == 0
+        assert "imported FAE" in capsys.readouterr().err
+        spec = json.loads(spec_path.read_text())
+        assert spec["type"] == "scheme_spec" and spec["kind"] == "bim"
+        # The imported spec is usable anywhere a scheme is: re-export it.
+        assert main([
+            "export-scheme", f"@{spec_path}", "-o", str(re_exported),
+        ]) == 0
+        assert re_exported.read_bytes() == exported.read_bytes()
+
+    def test_import_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "type": "scheme_spec", "kind": "bim", "name": "BAD",
+            "width": 30, "rows": ["0x0"] * 30,
+        }))
+        assert main(["import-scheme", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+CUSTOM_SCHEME_SPEC = {
+    "type": "scheme_spec",
+    "kind": "stages",
+    "name": "MYX",
+    "stages": [
+        {"op": "xor", "target": 8, "sources": [20, 24]},
+        {"op": "swap", "a": 9, "b": 22},
+    ],
+    "extra_latency_cycles": 1,
+}
+
+
+class TestSpecSweep:
+    """Acceptance: a custom scheme defined outside src/repro (spec file)
+    sweeps, caches, shards and merges exactly like the built-ins."""
+
+    def _scenario(self, tmp_path):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(json.dumps({
+            "type": "scenario_spec",
+            "benchmarks": ["SP"],
+            "schemes": ["PAE", CUSTOM_SCHEME_SPEC],
+            "scale": 0.25,
+        }))
+        return scenario
+
+    def test_custom_scheme_sweeps_caches_shards_and_merges(
+        self, tmp_path, capsys
+    ):
+        scenario = self._scenario(tmp_path)
+        cache = tmp_path / "cache"
+        r1, r2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        base_args = ["sweep", "--spec", str(scenario), "--cache-dir", str(cache)]
+
+        # Cold sweep executes; the custom scheme lands in the report
+        # next to the built-ins.
+        assert main(base_args + ["-o", str(r1)]) == 0
+        assert "3 executed" in capsys.readouterr().err
+        report = json.loads(r1.read_text())
+        assert set(report["derived"]["speedup"]) == {"BASE", "MYX", "PAE"}
+        assert report["derived"]["speedup"]["MYX"]["SP"] > 0
+        assert report["grid"]["schemes"][1]["name"] == "MYX"
+
+        # Re-run hits the content-addressed cache, byte-identically.
+        assert main(base_args + ["-o", str(r2)]) == 0
+        err = capsys.readouterr().err
+        assert "3 cache hits" in err and "0 executed" in err
+        assert r2.read_bytes() == r1.read_bytes()
+
+        # A 2-shard run over the same spec merges byte-identical.
+        shards = []
+        for i in (1, 2):
+            path = tmp_path / f"shard{i}.json"
+            shards.append(path)
+            assert main(base_args + ["--shard", f"{i}/2", "-o", str(path)]) == 0
+        merged = tmp_path / "merged.json"
+        capsys.readouterr()
+        assert main(["merge", str(shards[0]), str(shards[1]),
+                     "-o", str(merged)]) == 0
+        assert merged.read_bytes() == r1.read_bytes()
+
+        # The file-less merge path re-expands the custom grid too.
+        from_cache = tmp_path / "from_cache.json"
+        assert main(["merge", "--cache-dir", str(cache), "--spec",
+                     str(scenario), "-o", str(from_cache)]) == 0
+        assert from_cache.read_bytes() == r1.read_bytes()
+
+    def test_scheme_spec_file_on_the_schemes_flag(self, tmp_path, capsys):
+        spec_file = tmp_path / "myx.json"
+        spec_file.write_text(json.dumps(CUSTOM_SCHEME_SPEC))
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", f"PAE,@{spec_file}",
+            "--scale", "0.25", "--cache-dir", "",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["derived"]["speedup"]) == {"BASE", "MYX", "PAE"}
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--spec", str(tmp_path / "nope.json"), "--cache-dir", "",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRegisterFlag:
+    def test_schemes_register_lists_plugin(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_PLUGINS", "")
+        (tmp_path / "cli_plug_mod.py").write_text("""
+from repro.core.bim import BinaryInvertibleMatrix
+from repro.core.schemes import MappingScheme
+
+def cliplug(address_map):
+    return MappingScheme(
+        name="CLIPLUG",
+        bim=BinaryInvertibleMatrix.identity(address_map.width),
+        address_map=address_map,
+        strategy="identity",
+    )
+""")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        assert main(["schemes", "--register", "cli_plug_mod:cliplug"]) == 0
+        out = capsys.readouterr().out
+        assert "CLIPLUG" in out
+        import os
+
+        assert "cli_plug_mod:cliplug" in os.environ["REPRO_PLUGINS"]
+
 
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):

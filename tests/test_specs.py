@@ -1,0 +1,350 @@
+"""Tests for the serializable SchemeSpec / WorkloadSpec / ScenarioSpec family."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.address_map import hynix_gddr5_map
+from repro.core.serialize import dump_scheme, scheme_to_dict
+from repro.core.schemes import SCHEME_NAMES
+from repro.registry import make_scheme
+from repro.runner.config import RunConfig, SweepGrid
+from repro.specs import ScenarioSpec, SchemeSpec, SpecError, WorkloadSpec
+from repro.workloads.io import save_workload
+from repro.workloads.recipes import build_recipe_workload
+
+AMAP = hynix_gddr5_map()
+SAMPLE = np.arange(0, 1 << 30, 9176 * 128, dtype=np.uint64)[:4096]
+
+
+class TestSchemeSpecRegistered:
+    def test_name_normalized_and_compact(self):
+        spec = SchemeSpec.registered("pae")
+        assert spec.name == "PAE"
+        assert spec.is_plain_name
+        assert spec.compact() == "PAE"
+        assert str(spec) == "PAE"
+
+    def test_from_value_forms_agree(self):
+        assert SchemeSpec.from_value("PAE") == SchemeSpec.registered("PAE")
+        spec = SchemeSpec.registered("PAE")
+        assert SchemeSpec.from_value(spec) is spec
+        assert SchemeSpec.from_value(spec.to_dict()) == spec
+
+    def test_reserved_params_rejected(self):
+        # seed/scale live on RunConfig; name/kind/type are the envelope.
+        with pytest.raises(SpecError, match="reserved"):
+            SchemeSpec.registered("PAE", seed=5)
+        with pytest.raises(SpecError, match="reserved"):
+            SchemeSpec.registered("PAE", kind="bim")
+        with pytest.raises(SpecError, match="reserved"):
+            WorkloadSpec.registered("MT", scale=0.25)
+
+    def test_unknown_params_rejected_at_build(self):
+        # A typo'd param must not silently build the stock scheme under
+        # a parameterized cache key.
+        spec = SchemeSpec.registered("RMP", sorce_bits=[8, 9, 10, 11, 15, 16])
+        with pytest.raises(ValueError, match="sorce_bits"):
+            spec.build(AMAP)
+
+    def test_params_break_plainness(self):
+        spec = SchemeSpec.registered("RMP", source_bits=[8, 9, 10, 11, 15, 16])
+        assert not spec.is_plain_name
+        assert isinstance(spec.compact(), dict)
+        built = spec.build(AMAP)
+        assert built.metadata["source_bits"] == (8, 9, 10, 11, 15, 16)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            SchemeSpec("nope", "X")
+
+    def test_malformed_documents_raise_spec_error(self):
+        # Missing fields and non-object payloads must surface as
+        # SpecError (clean CLI error), never a bare KeyError.
+        with pytest.raises(SpecError, match="name"):
+            SchemeSpec.from_dict({"type": "scheme_spec", "kind": "registered"})
+        with pytest.raises(SpecError, match="name"):
+            WorkloadSpec.from_dict({"type": "workload_spec"})
+        with pytest.raises(SpecError, match="object"):
+            SchemeSpec.from_dict(["not", "a", "dict"])
+        with pytest.raises(SpecError, match="benchmarks"):
+            ScenarioSpec.from_dict({"type": "scenario_spec", "schemes": ["PAE"]})
+        with pytest.raises(SpecError, match="list"):
+            ScenarioSpec.from_dict({"type": "scenario_spec",
+                                    "benchmarks": "SP", "schemes": ["PAE"]})
+        with pytest.raises(SpecError, match="seeds"):
+            ScenarioSpec.from_dict({"type": "scenario_spec",
+                                    "benchmarks": ["SP"], "schemes": ["PAE"],
+                                    "seeds": 3})
+        with pytest.raises(SpecError, match="hex"):
+            SchemeSpec.from_dict({"type": "scheme_spec", "kind": "bim",
+                                  "name": "N", "width": 2, "rows": [1, 2]})
+        with pytest.raises(SpecError, match="width"):
+            SchemeSpec.from_dict({"type": "mapping_scheme", "name": "X",
+                                  "rows": ["0x1"]})
+
+
+class TestSchemeSpecBim:
+    def test_snapshot_maps_identically(self):
+        for name in SCHEME_NAMES:
+            scheme = make_scheme(name, AMAP, seed=0)
+            spec = SchemeSpec.from_scheme(scheme)
+            rebuilt = spec.build(AMAP)
+            np.testing.assert_array_equal(
+                np.asarray(scheme.map(SAMPLE)), np.asarray(rebuilt.map(SAMPLE))
+            )
+            assert rebuilt.extra_latency_cycles == scheme.extra_latency_cycles
+
+    def test_dict_round_trip_preserves_hash(self):
+        spec = SchemeSpec.from_scheme(make_scheme("FAE", AMAP, seed=2))
+        again = SchemeSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_accepts_exported_scheme_documents(self):
+        scheme = make_scheme("PM", AMAP)
+        spec = SchemeSpec.from_dict(scheme_to_dict(scheme))
+        assert spec.kind == "bim"
+        np.testing.assert_array_equal(
+            np.asarray(spec.build(AMAP).map(SAMPLE)),
+            np.asarray(scheme.map(SAMPLE)),
+        )
+
+    def test_width_mismatch_rejected(self):
+        spec = SchemeSpec.from_rows("W4", ["0x1", "0x2", "0x4", "0x8"], 4)
+        with pytest.raises(SpecError, match="width"):
+            spec.build(AMAP)
+
+    def test_singular_matrix_rejected_at_build(self):
+        rows = ["0x0"] * AMAP.width  # all-zero: not invertible
+        spec = SchemeSpec.from_rows("BAD", rows, AMAP.width)
+        with pytest.raises(ValueError):
+            spec.build(AMAP)
+
+
+class TestExportImportRoundTrip:
+    """Satellite: export-scheme -> import-scheme -> identical cache key
+    and identical mapped addresses, for all six built-ins plus a
+    custom-BIM spec."""
+
+    def _round_trip(self, tmp_path, scheme):
+        path = tmp_path / f"{scheme.name}.json"
+        dump_scheme(scheme, path)  # export
+        spec = SchemeSpec.from_file(path)  # import
+        # Export the imported spec again and re-import: identical spec.
+        again_path = tmp_path / f"{scheme.name}.2.json"
+        dump_scheme(spec.build(AMAP), again_path)
+        spec2 = SchemeSpec.from_file(again_path)
+        assert spec2 == spec
+        # Identical cache keys through RunConfig...
+        key1 = RunConfig("MT", spec, scale=0.5).config_hash()
+        key2 = RunConfig("MT", spec2, scale=0.5).config_hash()
+        assert key1 == key2
+        # ...and identical mapped addresses vs the original scheme.
+        np.testing.assert_array_equal(
+            np.asarray(scheme.map(SAMPLE)),
+            np.asarray(spec.build(AMAP).map(SAMPLE)),
+        )
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_builtins(self, tmp_path, name):
+        self._round_trip(tmp_path, make_scheme(name, AMAP, seed=1))
+
+    def test_custom_bim(self, tmp_path):
+        custom = SchemeSpec.stages("CUSTOM", [
+            {"op": "xor", "target": 8, "sources": [20, 24]},
+            {"op": "swap", "a": 9, "b": 22},
+        ]).build(AMAP)
+        self._round_trip(tmp_path, custom)
+
+
+class TestSchemeSpecStages:
+    def test_xor_stage_semantics(self):
+        spec = SchemeSpec.stages("X1", [
+            {"op": "xor", "target": 8, "sources": [20]},
+        ])
+        scheme = spec.build(AMAP)
+        assert int(scheme.map(1 << 20)) == (1 << 20) | (1 << 8)
+        assert int(scheme.map(1 << 8)) == 1 << 8
+
+    def test_stage_order_composes(self):
+        # Swap 8<->20 first, then XOR bit 20 into 9: the XOR sees the
+        # swapped value (original bit 8).
+        spec = SchemeSpec.stages("X2", [
+            {"op": "swap", "a": 8, "b": 20},
+            {"op": "xor", "target": 9, "sources": [20]},
+        ])
+        scheme = spec.build(AMAP)
+        assert int(scheme.map(1 << 8)) == (1 << 20) | (1 << 9)
+
+    def test_permute_stage(self):
+        sources = list(range(AMAP.width))
+        sources[8], sources[21] = 21, 8
+        scheme = SchemeSpec.stages("P1", [
+            {"op": "permute", "sources": sources},
+        ]).build(AMAP)
+        assert int(scheme.map(1 << 21)) == 1 << 8
+        assert scheme.unmap(scheme.map(12345 * 128)) == 12345 * 128
+
+    def test_block_bits_protected(self):
+        with pytest.raises(SpecError, match="block"):
+            SchemeSpec.stages("B1", [
+                {"op": "xor", "target": 8, "sources": [0]},
+            ]).build(AMAP)
+        with pytest.raises(SpecError, match="block"):
+            SchemeSpec.stages("B2", [
+                {"op": "swap", "a": 2, "b": 20},
+            ]).build(AMAP)
+
+    def test_singular_pipeline_rejected(self):
+        with pytest.raises(SpecError, match="singular"):
+            SchemeSpec.stages("S1", [
+                {"op": "xor", "target": 8, "sources": [8]},
+            ]).build(AMAP)
+
+    def test_bad_stage_shapes_rejected(self):
+        with pytest.raises(SpecError, match="op"):
+            SchemeSpec.stages("S2", [{"op": "rotate", "by": 3}])
+        with pytest.raises(SpecError, match="permutation"):
+            SchemeSpec.stages("S3", [
+                {"op": "permute", "sources": [0] * AMAP.width},
+            ]).build(AMAP)
+
+    def test_missing_stage_fields_raise_spec_error(self):
+        # Missing target/a/b or a non-list sources must be SpecError
+        # (clean CLI error), never an int(None) TypeError.
+        with pytest.raises(SpecError, match="integer"):
+            SchemeSpec.stages("S4", [{"op": "xor", "sources": [20]}]).build(AMAP)
+        with pytest.raises(SpecError, match="sources"):
+            SchemeSpec.stages("S5", [{"op": "xor", "target": 8}]).build(AMAP)
+        with pytest.raises(SpecError, match="sources"):
+            SchemeSpec.stages("S6", [
+                {"op": "xor", "target": 8, "sources": 20},
+            ]).build(AMAP)
+        with pytest.raises(SpecError, match="integer"):
+            SchemeSpec.stages("S7", [{"op": "swap", "a": 8}]).build(AMAP)
+
+
+class TestWorkloadSpec:
+    RECIPE = {
+        "instructions_per_request": 80,
+        "expected_valley": True,
+        "kernels": [
+            {"pattern": "column_walk", "tbs": 8, "pitch": 4096,
+             "rows": 12, "col_byte": 256, "gap": 4},
+            {"pattern": "row_segment", "tbs": 4, "width": 1024},
+        ],
+    }
+
+    def test_registered_round_trip(self):
+        spec = WorkloadSpec.registered("mt")
+        assert spec.compact() == "MT"
+        assert WorkloadSpec.from_value("MT") == spec
+        workload = spec.build(scale=0.25)
+        assert workload.abbreviation == "MT"
+
+    def test_pattern_recipe_builds_and_scales(self):
+        spec = WorkloadSpec.pattern("CW", self.RECIPE)
+        workload = spec.build(scale=1.0)
+        assert workload.n_tbs == 12
+        assert workload.expected_valley
+        assert workload.apki == pytest.approx(1000 / 80)
+        half = spec.build(scale=0.5)
+        assert half.n_tbs == 6
+        # Deterministic: same spec, same addresses.
+        a = spec.build(scale=0.5).kernels[0].tbs[0].addresses()
+        np.testing.assert_array_equal(a, half.kernels[0].tbs[0].addresses())
+
+    def test_pattern_recipe_matches_direct_builder(self):
+        spec = WorkloadSpec.pattern("CW", self.RECIPE)
+        direct = build_recipe_workload("CW", self.RECIPE, scale=1.0)
+        built = spec.build(scale=1.0)
+        assert built.n_requests == direct.n_requests
+
+    def test_bad_recipe_rejected(self):
+        with pytest.raises(ValueError, match="pattern"):
+            WorkloadSpec.pattern("BAD", {"kernels": [{"pattern": "mystery"}]})
+        with pytest.raises(ValueError, match="kernels"):
+            WorkloadSpec.pattern("BAD", {})
+
+    def test_typod_recipe_params_rejected(self):
+        # A typo'd kernel param would silently build the default
+        # workload under a distinct cache identity — reject it instead.
+        with pytest.raises(ValueError, match="widht"):
+            WorkloadSpec.pattern("BAD", {
+                "kernels": [
+                    {"pattern": "row_segment", "tbs": 2, "widht": 65536},
+                ],
+            })
+        with pytest.raises(ValueError, match="recipe key"):
+            WorkloadSpec.pattern("BAD", {
+                "kernels": [{"pattern": "row_segment", "tbs": 2}],
+                "instructions_per_reqest": 80,
+            })
+
+    def test_trace_spec_round_trip(self, tmp_path):
+        workload = build_recipe_workload("TR", self.RECIPE, scale=0.5)
+        path = tmp_path / "trace.npz"
+        save_workload(workload, path)
+        spec = WorkloadSpec.trace(path, name="TR")
+        loaded = spec.build()
+        assert loaded.n_requests == workload.n_requests
+        np.testing.assert_array_equal(
+            loaded.kernels[0].tbs[0].addresses(),
+            workload.kernels[0].tbs[0].addresses(),
+        )
+
+    def test_trace_identity_ignores_path(self, tmp_path):
+        workload = build_recipe_workload("TR", self.RECIPE, scale=0.5)
+        a = tmp_path / "a" / "trace.npz"
+        b = tmp_path / "b" / "moved.npz"
+        a.parent.mkdir()
+        b.parent.mkdir()
+        save_workload(workload, a)
+        b.write_bytes(a.read_bytes())
+        spec_a = WorkloadSpec.trace(a, name="TR")
+        spec_b = WorkloadSpec.trace(b, name="TR")
+        assert spec_a != spec_b  # different retrieval hints...
+        key_a = RunConfig(spec_a, "PAE").config_hash()
+        key_b = RunConfig(spec_b, "PAE").config_hash()
+        assert key_a == key_b  # ...same cache identity (content hash)
+
+    def test_trace_digest_mismatch_rejected(self, tmp_path):
+        workload = build_recipe_workload("TR", self.RECIPE, scale=0.5)
+        path = tmp_path / "trace.npz"
+        save_workload(workload, path)
+        spec = WorkloadSpec.trace(path, name="TR", sha256="0" * 64)
+        with pytest.raises(SpecError, match="refusing"):
+            spec.build()
+
+
+class TestScenarioSpec:
+    def test_round_trip_and_grid(self, tmp_path):
+        custom = SchemeSpec.stages(
+            "MYX", [{"op": "xor", "target": 8, "sources": [20, 21]}]
+        )
+        scenario = ScenarioSpec(
+            benchmarks=("SP",),
+            schemes=("PAE", custom),
+            scale=0.25,
+        )
+        path = tmp_path / "scenario.json"
+        scenario.dump(path)
+        loaded = ScenarioSpec.from_file(path)
+        assert loaded == scenario
+        grid = loaded.grid()
+        assert isinstance(grid, SweepGrid)
+        assert {c.scheme_name for c in grid.configs()} == {"BASE", "PAE", "MYX"}
+        assert grid.scale == 0.25
+
+    def test_grid_matches_equivalent_flag_grid(self):
+        scenario = ScenarioSpec(benchmarks=("MT", "SP"), schemes=("PM",),
+                                scale=0.5, window=8)
+        flags = SweepGrid(benchmarks=("MT", "SP"), schemes=("PM",),
+                         scale=0.5, window=8)
+        assert scenario.grid() == flags
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(benchmarks=(), schemes=("PAE",))
