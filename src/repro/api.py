@@ -44,6 +44,7 @@ from .runner.report import render_report, shard_report, sweep_report
 from .runner.shard import ShardSpec
 from .runner.sweep import SweepRunner, default_workers
 from .runner.worker import RunContext, process_context
+from .sim.fidelity import EXACT, Fidelity, parse_fidelity
 from .sim.results import SimulationResult, perf_per_watt_ratio, speedup
 from .specs import ScenarioSpec, SchemeSpec, WorkloadSpec
 
@@ -91,6 +92,7 @@ def _config(
     scale: float,
     window: int,
     profile_scale: Optional[float],
+    fidelity: Fidelity = EXACT,
 ) -> RunConfig:
     return RunConfig(
         benchmark=WorkloadSpec.from_value(benchmark),
@@ -101,6 +103,7 @@ def _config(
         scale=scale,
         window=window,
         profile_scale=profile_scale,
+        fidelity=fidelity,
     )
 
 
@@ -114,14 +117,23 @@ def simulate(
     scale: float = 1.0,
     window: int = 12,
     profile_scale: Optional[float] = None,
+    fidelity: Fidelity = EXACT,
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
     cache_dir=None,
 ) -> SimulationResult:
-    """Run one (workload, scheme) scenario and return its result."""
+    """Run one (workload, scheme) scenario and return its result.
+
+    *fidelity* selects the simulation mode (``"exact"`` — the default,
+    byte-identical to the pre-fidelity simulator — or
+    ``"sampled[:warmup=..,window=..,period=..]"`` /
+    :class:`~repro.sim.fidelity.SampledFidelity` for interval-sampled
+    approximation; see :mod:`repro.sim.fidelity`).
+    """
     config = _config(
         benchmark, scheme, seed=seed, n_sms=n_sms, memory=memory,
         scale=scale, window=window, profile_scale=profile_scale,
+        fidelity=fidelity,
     )
     executor, owned = _runner(runner, workers, cache_dir)
     try:
@@ -141,6 +153,7 @@ def run_matrix(
     scale: float = 1.0,
     window: int = 12,
     profile_scale: Optional[float] = None,
+    fidelity: Fidelity = EXACT,
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
     cache_dir=None,
@@ -160,6 +173,7 @@ def run_matrix(
         _config(
             b, s, seed=seed, n_sms=n_sms, memory=memory,
             scale=scale, window=window, profile_scale=profile_scale,
+            fidelity=fidelity,
         )
         for b in bench_specs
         for s in scheme_specs
@@ -184,6 +198,7 @@ def sweep(
     memories: Sequence[str] = ("gddr5",),
     scale: float = 1.0,
     window: int = 12,
+    fidelity: Fidelity = EXACT,
     shard: Optional[Union[str, ShardSpec]] = None,
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
@@ -214,6 +229,7 @@ def sweep(
         axes = dict(
             seeds=tuple(seeds), n_sms=tuple(n_sms),
             memories=tuple(memories), scale=scale, window=window,
+            fidelity=parse_fidelity(fidelity),
         )
         if benchmarks is not None:
             axes["benchmarks"] = tuple(benchmarks)
@@ -284,6 +300,7 @@ def compare(
     scale: float = 1.0,
     window: int = 12,
     profile_scale: Optional[float] = None,
+    fidelity: Fidelity = EXACT,
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
     cache_dir=None,
@@ -306,8 +323,8 @@ def compare(
     results = run_matrix(
         [benchmark], scheme_specs,
         seed=seed, n_sms=n_sms, memory=memory, scale=scale, window=window,
-        profile_scale=profile_scale, runner=runner, workers=workers,
-        cache_dir=cache_dir,
+        profile_scale=profile_scale, fidelity=fidelity, runner=runner,
+        workers=workers, cache_dir=cache_dir,
     )
     bench_name = WorkloadSpec.from_value(benchmark).name
     base = results[(bench_name, "BASE")]

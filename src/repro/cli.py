@@ -29,6 +29,10 @@ Commands
 ``cache``
     Inspect (``ls``) or evict stale schema versions from (``prune``)
     an on-disk result cache.
+``profile``
+    Run one configuration under :mod:`cProfile` (inline, no cache) and
+    print the hottest functions, so perf work starts from a measured
+    profile instead of a guess.
 ``export-scheme``
     Serialize a scheme's realized BIM to JSON (for RTL generators,
     configs, or re-import on another machine).
@@ -83,6 +87,7 @@ from .runner import (
     render_report,
     report_from_cache,
 )
+from .sim.fidelity import parse_fidelity
 from .specs import ScenarioSpec, SchemeSpec, WorkloadSpec
 from .workloads.suite import ALL_BENCHMARKS, VALLEY_BENCHMARKS
 
@@ -189,6 +194,7 @@ def _cmd_simulate(args) -> int:
     table = api.compare(
         _workload_value(args.benchmark), schemes,
         seed=args.seed, scale=args.scale,
+        fidelity=parse_fidelity(args.fidelity),
     )
     rows = [
         [name, m["cycles"], m["speedup"], m["row_hit_rate"] * 100,
@@ -230,6 +236,7 @@ def _grid_from_args(args) -> SweepGrid:
             memories=tuple(m.strip() for m in args.memories.split(",")),
             scale=args.scale,
             window=args.window,
+            fidelity=parse_fidelity(args.fidelity),
         )
     grid.configs()  # validates every axis value before any work
     return grid
@@ -371,6 +378,40 @@ def _cmd_cache_prune(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Run one config under cProfile and print the hottest rows."""
+    _apply_registrations(args)
+    import cProfile
+    import io as io_module
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = api.simulate(
+        _workload_value(args.benchmark),
+        _scheme_value(args.scheme),
+        seed=args.seed,
+        n_sms=args.n_sms,
+        memory=args.memory,
+        scale=args.scale,
+        fidelity=parse_fidelity(args.fidelity),
+        workers=1,  # inline, in-process: the profile must see the run
+    )
+    profiler.disable()
+    stream = io_module.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.limit)
+    print(stream.getvalue(), end="")
+    print(
+        f"{args.benchmark}/{args.scheme} @ scale={args.scale} "
+        f"fidelity={args.fidelity}: {result.cycles} cycles, "
+        f"{result.metadata.get('events', '?')} events",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_export_scheme(args) -> int:
     _apply_registrations(args)
     spec = SchemeSpec.from_value(_scheme_value(args.scheme))
@@ -403,6 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Get Out of the Valley' (ISCA 2018)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fidelity_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--fidelity", default="exact",
+            help="simulation fidelity: 'exact' (default), or "
+                 "'sampled[:warmup=W,window=D,period=P]' for interval-"
+                 "sampled approximation (see repro.sim.fidelity)",
+        )
 
     def add_register_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -446,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated scheme names (or @file specs)")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    add_fidelity_arg(p)
     add_register_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
@@ -473,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--scale", type=float, default=0.5)
         p.add_argument("--window", type=int, default=12)
+        add_fidelity_arg(p)
         add_register_arg(p)
 
     p = sub.add_parser(
@@ -548,6 +599,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict everything not produced by the current schema version",
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one configuration under cProfile and print the top rows",
+    )
+    p.add_argument(
+        "benchmark", help="registered benchmark, or @file for a workload spec"
+    )
+    p.add_argument(
+        "--scheme", default="BASE",
+        help="registered scheme name, or @file for a scheme spec",
+    )
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n-sms", type=int, default=12)
+    p.add_argument("--memory", default="gddr5")
+    p.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "calls", "ncalls", "time"],
+        help="pstats sort key (default: cumulative)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=25,
+        help="number of rows to print (default: 25)",
+    )
+    add_fidelity_arg(p)
+    add_register_arg(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "export-scheme", help="serialize a scheme's realized BIM to JSON"

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -163,6 +165,46 @@ class MemoryController:
         if self._on_complete is not None:
             self._on_complete(request, self._engine.now)
         self._pump()
+
+    # ------------------------------------------------------------------
+    # Sampled-fidelity fast-forward
+    # ------------------------------------------------------------------
+    def replay_traffic(self, banks, rows, n_reads: int, n_writes: int) -> None:
+        """Functionally replay decoded DRAM traffic (no engine events).
+
+        *banks*/*rows* are the per-request coordinates in replay
+        order; *n_reads*/*n_writes* split the stream by direction for
+        the read/write energy counters.  Each bank's sub-stream (order
+        preserved) is replayed through its row-buffer state machine,
+        so activate/hit/conflict counters and the open rows stay
+        integrated across fast-forwarded work.  Queues, timing and the
+        data bus are untouched — no simulated cycles elapse.
+        """
+        banks = np.asarray(banks)
+        rows = np.asarray(rows)
+        if len(banks) != len(rows):
+            raise ValueError(
+                f"bank/row replay arrays disagree on length: "
+                f"{len(banks)}/{len(rows)}"
+            )
+        if len(banks):
+            order = np.argsort(banks, kind="stable")
+            sorted_banks = banks[order]
+            sorted_rows = rows[order]
+            boundaries = np.flatnonzero(sorted_banks[1:] != sorted_banks[:-1]) + 1
+            start = 0
+            for end in [*boundaries.tolist(), len(sorted_banks)]:
+                self.banks[int(sorted_banks[start])].replay_rows(
+                    sorted_rows[start:end]
+                )
+                start = end
+        self.reads += n_reads
+        self.writes += n_writes
+        self.requests_seen += n_reads + n_writes
+        # Account the bursts the transfers would have occupied, so
+        # bandwidth_utilization stays meaningful against extrapolated
+        # cycle counts.
+        self.busy_cycles += (n_reads + n_writes) * self._timing.t_burst
 
     def _wake_at(self, time: int) -> None:
         time = max(time, self._engine.now)

@@ -9,12 +9,28 @@ whose bank can accept a command *now*:
 The policy is factored out of the memory controller so it can be unit
 tested in isolation and swapped for alternatives (e.g. plain FCFS) in
 ablation experiments.
+
+Data structures: each bank's queue is an **insertion-ordered dict**
+(sequence number -> request) plus one FIFO of sequence numbers per
+distinct row.  Both FR-FCFS questions are then O(1) per bank:
+
+* "oldest pending request" — the dict's first key (dicts preserve
+  insertion order and deletion keeps it),
+* "oldest pending row hit" — the head of the open row's FIFO.
+
+The popped request is, in either case, the head of its own row FIFO
+(the oldest overall is necessarily the oldest of its row), so removal
+is two O(1) pops — no scan of the bank queue.  Behaviour is identical
+to the historical list-scanning implementation (same selection order,
+same round-robin tie-breaking); ``tests/dram/test_scheduler_equiv.py``
+pins the equivalence against a reference implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from .bank import Bank
 
@@ -43,8 +59,9 @@ class DRAMRequest:
 class FRFCFSScheduler:
     """Per-channel FR-FCFS queues with O(banks) selection.
 
-    Requests live in per-bank FIFO lists; a per-bank row -> count map
-    answers "does this bank have a pending hit?" in O(1).
+    Requests live in per-bank insertion-ordered dicts with per-row
+    FIFOs, so both the row-hit pick and the oldest pick are O(1) per
+    bank (see the module docstring).
     """
 
     name = "FR-FCFS"
@@ -52,8 +69,11 @@ class FRFCFSScheduler:
     def __init__(self, n_banks: int) -> None:
         if n_banks <= 0:
             raise ValueError(f"need at least one bank, got {n_banks}")
-        self._queues: List[List[DRAMRequest]] = [[] for _ in range(n_banks)]
-        self._row_counts: List[Dict[int, int]] = [{} for _ in range(n_banks)]
+        # seq -> request, insertion-ordered; first entry is the oldest.
+        self._queues: List[Dict[int, DRAMRequest]] = [{} for _ in range(n_banks)]
+        # row -> FIFO of sequence numbers, per bank.
+        self._row_fifos: List[Dict[int, Deque[int]]] = [{} for _ in range(n_banks)]
+        self._seq = 0
         self._size = 0
         # Round-robin start position so that equal-age requests do not
         # starve high-numbered banks.  All n rotations are precomputed
@@ -77,25 +97,49 @@ class FRFCFSScheduler:
 
     def enqueue(self, request: DRAMRequest) -> None:
         """Add a request to its bank's queue."""
-        self._queues[request.bank].append(request)
-        counts = self._row_counts[request.bank]
-        counts[request.row] = counts.get(request.row, 0) + 1
+        seq = self._seq
+        self._seq = seq + 1
+        self._queues[request.bank][seq] = request
+        fifos = self._row_fifos[request.bank]
+        fifo = fifos.get(request.row)
+        if fifo is None:
+            fifos[request.row] = deque((seq,))
+        else:
+            fifo.append(seq)
         self._size += 1
 
     def enqueue_many(self, requests: Sequence[DRAMRequest]) -> None:
         """Bulk-add a batch of requests (one bookkeeping pass).
 
         The controller hands over all requests that arrived in the same
-        cycle at once, so the queues and row-count maps are updated in
-        one call instead of one Python call per request.
+        cycle at once, so the queues and row FIFOs are updated in one
+        call instead of one Python call per request.
         """
+        seq = self._seq
         queues = self._queues
-        row_counts = self._row_counts
+        row_fifos = self._row_fifos
         for request in requests:
-            queues[request.bank].append(request)
-            counts = row_counts[request.bank]
-            counts[request.row] = counts.get(request.row, 0) + 1
+            queues[request.bank][seq] = request
+            fifos = row_fifos[request.bank]
+            fifo = fifos.get(request.row)
+            if fifo is None:
+                fifos[request.row] = deque((seq,))
+            else:
+                fifo.append(seq)
+            seq += 1
+        self._seq = seq
         self._size += len(requests)
+
+    def _pop(self, bank_idx: int, seq: int, request: DRAMRequest) -> None:
+        """Remove a picked request (always the head of its row FIFO)."""
+        del self._queues[bank_idx][seq]
+        fifos = self._row_fifos[bank_idx]
+        fifo = fifos[request.row]
+        fifo.popleft()
+        if not fifo:
+            del fifos[request.row]
+        self._size -= 1
+        self._rr = (bank_idx + 1) % len(self._queues)
 
     def select(self, banks: Sequence[Bank], now: int) -> Tuple[Optional[DRAMRequest], Optional[int]]:
         """Pick the next request to issue at time *now* (and pop it).
@@ -106,10 +150,10 @@ class FRFCFSScheduler:
         (None when the queues are empty).
         """
         best_key: Optional[Tuple[int, int]] = None
-        best_pos: Optional[Tuple[int, int]] = None
+        best_pick: Optional[Tuple[int, int, DRAMRequest]] = None
         next_ready: Optional[int] = None
         queues = self._queues
-        row_counts = self._row_counts
+        row_fifos = self._row_fifos
         for bank_idx in self._orders[self._rr]:
             queue = queues[bank_idx]
             if not queue:
@@ -121,27 +165,25 @@ class FRFCFSScheduler:
                     next_ready = ready_at
                 continue
             open_row = bank.open_row
-            if open_row is not None and row_counts[bank_idx].get(open_row, 0) > 0:
-                for i, req in enumerate(queue):
-                    if req.row == open_row:
-                        key = (0, req.arrival)
-                        pos = (bank_idx, i)
-                        break
+            if open_row is not None:
+                fifo = row_fifos[bank_idx].get(open_row)
             else:
-                key = (1, queue[0].arrival)
-                pos = (bank_idx, 0)
+                fifo = None
+            if fifo is not None:
+                seq = fifo[0]
+                request = queue[seq]
+                key = (0, request.arrival)
+            else:
+                seq = next(iter(queue))
+                request = queue[seq]
+                key = (1, request.arrival)
             if best_key is None or key < best_key:
-                best_key, best_pos = key, pos
-        if best_pos is None:
+                best_key = key
+                best_pick = (bank_idx, seq, request)
+        if best_pick is None:
             return None, next_ready
-        bank_idx, i = best_pos
-        request = self._queues[bank_idx].pop(i)
-        counts = self._row_counts[bank_idx]
-        counts[request.row] -= 1
-        if not counts[request.row]:
-            del counts[request.row]
-        self._size -= 1
-        self._rr = (bank_idx + 1) % len(self._queues)
+        bank_idx, seq, request = best_pick
+        self._pop(bank_idx, seq, request)
         return request, None
 
 
@@ -155,7 +197,7 @@ class FCFSScheduler(FRFCFSScheduler):
     name = "FCFS"
 
     def select(self, banks: Sequence[Bank], now: int) -> Tuple[Optional[DRAMRequest], Optional[int]]:
-        best_pos: Optional[int] = None
+        best_pick: Optional[Tuple[int, int, DRAMRequest]] = None
         best_arrival: Optional[int] = None
         next_ready: Optional[int] = None
         for bank_idx in self._orders[self._rr]:
@@ -167,16 +209,13 @@ class FCFSScheduler(FRFCFSScheduler):
                 if next_ready is None or bank.ready_at < next_ready:
                     next_ready = bank.ready_at
                 continue
-            if best_arrival is None or queue[0].arrival < best_arrival:
-                best_arrival = queue[0].arrival
-                best_pos = bank_idx
-        if best_pos is None:
+            seq = next(iter(queue))
+            request = queue[seq]
+            if best_arrival is None or request.arrival < best_arrival:
+                best_arrival = request.arrival
+                best_pick = (bank_idx, seq, request)
+        if best_pick is None:
             return None, next_ready
-        request = self._queues[best_pos].pop(0)
-        counts = self._row_counts[best_pos]
-        counts[request.row] -= 1
-        if not counts[request.row]:
-            del counts[request.row]
-        self._size -= 1
-        self._rr = (best_pos + 1) % len(self._queues)
+        bank_idx, seq, request = best_pick
+        self._pop(bank_idx, seq, request)
         return request, None

@@ -14,7 +14,7 @@ same lines nearly simultaneously.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["CacheStats", "SetAssociativeCache", "MSHRFile", "MSHROutcome"]
 
@@ -91,6 +91,24 @@ class SetAssociativeCache:
         # that power-of-two strides do not collapse onto one set.
         self._hash_sets = hash_sets
         self._set_bits = max(1, (sets - 1).bit_length())
+        # Fast set-index path: for power-of-two set counts the chunked
+        # XOR fold reduces to a fixed doubling-shift cascade plus a
+        # mask (each b-bit chunk of the index is XORed into the low b
+        # bits; shift subsets enumerate every chunk offset exactly
+        # once for indexes below 2**64).  Precomputed here so the
+        # per-access cost is a handful of shifts instead of a
+        # data-dependent fold loop.  Non-power-of-two set counts keep
+        # the exact legacy fold-then-modulo.
+        self._set_mask = sets - 1
+        if hash_sets and sets & (sets - 1) == 0:
+            shifts: List[int] = []
+            shift = self._set_bits
+            while shift < 64:
+                shifts.append(shift)
+                shift <<= 1
+            self._fold_shifts: Optional[Tuple[int, ...]] = tuple(reversed(shifts))
+        else:
+            self._fold_shifts = None
         # Per set: dict line_address -> [lru_counter, dirty]. Insertion
         # into a dict is cheap and we keep len <= ways.
         self._lines: List[Dict[int, List]] = [dict() for _ in range(sets)]
@@ -119,6 +137,11 @@ class SetAssociativeCache:
 
     def _set_index(self, line_address: int) -> int:
         index = line_address >> self._line_shift
+        shifts = self._fold_shifts
+        if shifts is not None:
+            for shift in shifts:
+                index ^= index >> shift
+            return index & self._set_mask
         if self._hash_sets:
             folded = index
             index = 0
@@ -232,6 +255,111 @@ class SetAssociativeCache:
             return True
         self.stats.write_misses += 1
         return False
+
+    # ------------------------------------------------------------------
+    # Bulk functional replay (sampled-fidelity fast-forward)
+    # ------------------------------------------------------------------
+    # These loops are the no-engine half of the sampled-fidelity mode:
+    # they replay a pre-translated address stream through the tag/LRU
+    # state in one pass, keeping the cache warm and the hit/miss
+    # counters integrated over the fast-forwarded work.  They follow
+    # the same policies as the event-driven paths (try_read /
+    # write_through for the L1, on_read / on_write for the LLC) with
+    # time removed: a read miss installs its line immediately, which
+    # also stands in for MSHR merging (later accesses to the line hit).
+
+    def warm_through_many(self, lines: Sequence[int], writes: Sequence[bool]) -> List[int]:
+        """Replay accesses under the L1 policy (write-through,
+        no-write-allocate; read misses fill).
+
+        Returns the positions of accesses forwarded downstream: every
+        write (write-through) plus every read miss.  Victims are never
+        dirty under this policy, so there is nothing to write back.
+        """
+        forwarded: List[int] = []
+        line_shift = self._line_shift
+        sets = self._lines
+        ways = self._ways
+        stats = self.stats
+        use = self._use_counter
+        set_index = self._set_index
+        for position, address in enumerate(lines):
+            line = (address >> line_shift) << line_shift
+            entry_set = sets[set_index(line)]
+            entry = entry_set.get(line)
+            if writes[position]:
+                if entry is not None:
+                    use += 1
+                    entry[0] = use
+                    stats.write_hits += 1
+                else:
+                    stats.write_misses += 1
+                forwarded.append(position)
+                continue
+            if entry is not None:
+                use += 1
+                entry[0] = use
+                stats.read_hits += 1
+                continue
+            stats.read_misses += 1
+            use += 1
+            if len(entry_set) >= ways:
+                victim_line = min(entry_set, key=entry_set.__getitem__)
+                entry_set.pop(victim_line)
+                stats.evictions += 1
+            entry_set[line] = [use, False]
+            forwarded.append(position)
+        self._use_counter = use
+        return forwarded
+
+    def warm_back_many(
+        self, lines: Sequence[int], writes: Sequence[bool]
+    ) -> Tuple[List[int], List[int]]:
+        """Replay accesses under the LLC policy (write-back,
+        write-allocate; full-line stores install dirty without a fetch).
+
+        Returns ``(read_miss_positions, writeback_lines)``: the
+        positions whose lines must be fetched from DRAM, and the dirty
+        victim line addresses evicted along the way.
+        """
+        read_misses: List[int] = []
+        writebacks: List[int] = []
+        line_shift = self._line_shift
+        sets = self._lines
+        ways = self._ways
+        stats = self.stats
+        use = self._use_counter
+        set_index = self._set_index
+        for position, address in enumerate(lines):
+            line = (address >> line_shift) << line_shift
+            entry_set = sets[set_index(line)]
+            entry = entry_set.get(line)
+            is_write = writes[position]
+            if entry is not None:
+                use += 1
+                entry[0] = use
+                if is_write:
+                    entry[1] = True
+                    stats.write_hits += 1
+                else:
+                    stats.read_hits += 1
+                continue
+            if is_write:
+                stats.write_misses += 1
+            else:
+                stats.read_misses += 1
+                read_misses.append(position)
+            use += 1
+            if len(entry_set) >= ways:
+                victim_line = min(entry_set, key=entry_set.__getitem__)
+                victim = entry_set.pop(victim_line)
+                stats.evictions += 1
+                if victim[1]:
+                    stats.writebacks += 1
+                    writebacks.append(victim_line)
+            entry_set[line] = [use, bool(is_write)]
+        self._use_counter = use
+        return read_misses, writebacks
 
     def invalidate(self, address: int) -> bool:
         """Drop the line holding *address*; True if it was present."""

@@ -103,6 +103,7 @@ class SM:
         self.on_tb_done: Optional[Callable[[TBContext], None]] = None
         # Statistics.
         self.instructions_issued = 0
+        self.ops_completed = 0
         self.warp_stall_cycles = 0
 
     # ------------------------------------------------------------------
@@ -201,8 +202,15 @@ class SM:
 
     def _issue_op(self, warp: WarpContext) -> None:
         """Issue the warp's next op through L1/MSHR/store logic."""
-        self.instructions_issued += 1
         op = warp.op
+        if op >= warp.n_ops:
+            # A sampled-fidelity freeze moved the cursor past the end
+            # while this issue was already scheduled: nothing left to
+            # issue.  Never taken in exact mode.
+            warp.issue_pending = False
+            warp.maybe_retire()
+            return
+        self.instructions_issued += 1
         line = warp.lines[op]
         if warp.writes[op]:
             # Write-through store: the warp does not wait for DRAM, but
@@ -255,8 +263,9 @@ class SM:
         if warp.outstanding <= 0:
             raise RuntimeError(f"warp {warp.warp_id}: completion underflow")
         warp.outstanding -= 1
+        self.ops_completed += 1
         if warp.done:
-            warp.tb.warp_finished()
+            warp.maybe_retire()
         elif (
             not warp.issued_all
             and not warp.issue_pending
@@ -281,6 +290,11 @@ class SM:
     def _try_issue_parked(self, warp: WarpContext) -> None:
         """Retry a warp that was parked on a full MSHR file."""
         op = warp.op
+        if op >= warp.n_ops:
+            # Fast-forwarded past the end while parked (sampled mode).
+            warp.issue_pending = False
+            warp.maybe_retire()
+            return
         line = warp.lines[op]
         if self.l1.try_read(line):
             warp.outstanding += 1
@@ -305,6 +319,22 @@ class SM:
                 issued_at=self._engine.now,
             ))
         self._issued(warp)
+
+    # ------------------------------------------------------------------
+    # Sampled-fidelity fast-forward
+    # ------------------------------------------------------------------
+    def warm_l1(self, lines, writes):
+        """Functionally replay a warp's op stream through this SM's L1.
+
+        The L1-filter stage of the sampled-fidelity fast-forward: no
+        events, no warp state — just the tag/LRU/counter effects of
+        the accesses.  Returns the positions forwarded downstream
+        (read misses plus every write-through store), which the system
+        replays through the LLC slices.  ``instructions_issued`` is
+        untouched: it counts detailed issues only, so sampled-mode
+        rate measurement stays clean.
+        """
+        return self.l1.warm_through_many(lines, writes)
 
     def __repr__(self) -> str:
         return (

@@ -59,6 +59,7 @@ class TBScheduler:
         self._queue = deque(tbs)
         self._kernel_loaded = True
         self._dispatch()
+        self._check_kernel_done()
 
     def _dispatch(self) -> None:
         """Assign queued TBs (in order) to any SM with room.
@@ -77,6 +78,30 @@ class TBScheduler:
             self.max_in_flight = max(self.max_in_flight, self._in_flight)
             sm.assign_tb(tb)
 
+    def _check_kernel_done(self) -> None:
+        """Fire the kernel-done callback when nothing is left to run.
+
+        Factored out of ``_tb_done`` so ``load_kernel`` can share it:
+        a kernel whose TBs all complete synchronously during dispatch
+        (e.g. every TB empty) finishes without any completion event.
+        """
+        if not self._queue and self._in_flight == 0 and self._kernel_loaded:
+            self._kernel_loaded = False
+            self._on_kernel_done()
+
+    def take_pending(self) -> List[TBContext]:
+        """Remove and return every not-yet-dispatched TB.
+
+        The sampled-fidelity freeze path: the caller replays these TBs
+        functionally instead of letting them dispatch.  The kernel
+        still completes normally — its in-flight TBs retire through
+        the usual completion path, and the kernel-done callback fires
+        once they have (the emptied queue cannot re-dispatch).
+        """
+        pending = list(self._queue)
+        self._queue.clear()
+        return pending
+
     def _pick_sm(self, tb: TBContext) -> Optional[SM]:
         """Least-loaded SM that can accept *tb* (round-robin on ties)."""
         best: Optional[SM] = None
@@ -93,6 +118,4 @@ class TBScheduler:
             raise RuntimeError("TB completion underflow")
         if self._queue:
             self._dispatch()
-        elif self._in_flight == 0 and self._kernel_loaded:
-            self._kernel_loaded = False
-            self._on_kernel_done()
+        self._check_kernel_done()

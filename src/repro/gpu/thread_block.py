@@ -14,7 +14,7 @@ identical to mapping at issue time because the BIM is stateless.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class WarpContext:
     __slots__ = (
         "tb", "warp_id", "gaps", "writes", "lines", "channels", "banks",
         "rows", "slices", "op", "n_ops", "outstanding", "issue_pending",
-        "ready_at",
+        "ready_at", "retired",
     )
 
     def __init__(
@@ -74,6 +74,7 @@ class WarpContext:
         self.outstanding = 0  # issued but not yet completed
         self.issue_pending = False  # an issue event is scheduled
         self.ready_at = 0  # cycle the warp last became port-ready
+        self.retired = False  # warp_finished() has fired (exactly once)
 
     @property
     def issued_all(self) -> bool:
@@ -88,6 +89,42 @@ class WarpContext:
         if self.issued_all:
             raise RuntimeError(f"warp {self.warp_id} advanced past its last request")
         self.op += 1
+
+    def maybe_retire(self) -> None:
+        """Fire ``tb.warp_finished()`` exactly once, when done.
+
+        In exact mode retirement has a single trigger (the last
+        completion); a sampled-fidelity fast-forward can move the op
+        cursor past the end while stale issue events are still in
+        flight, each of which then checks for retirement — this guard
+        keeps the transition one-shot.
+        """
+        if not self.retired and self.done:
+            self.retired = True
+            self.tb.warp_finished()
+
+    def fast_forward_rest(self) -> Tuple[list, list, list, list, list, list]:
+        """Move the op cursor past every remaining op, returning them.
+
+        The sampled-fidelity freeze path: the skipped ops'
+        pre-translated per-op fields are handed back as
+        ``(lines, channels, banks, rows, slices, writes)`` list slices
+        for bulk functional replay — they are never issued on the
+        engine.  In-flight completions and pending issue events stay
+        valid: the SM's issue path treats a cursor at the end as
+        "nothing left to issue" and retires the warp through
+        :meth:`maybe_retire`.
+        """
+        start = self.op
+        self.op = self.n_ops
+        return (
+            self.lines[start:],
+            self.channels[start:],
+            self.banks[start:],
+            self.rows[start:],
+            self.slices[start:],
+            self.writes[start:],
+        )
 
     def __repr__(self) -> str:
         return (

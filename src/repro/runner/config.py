@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from ..core.schemes import SCHEME_NAMES
 from ..core.serialize import stable_hash
 from ..registry import RegistryError, memory_entry
+from ..sim.fidelity import EXACT, fidelity_to_json, parse_fidelity
 from ..specs import SchemeSpec, WorkloadSpec
 from ..workloads.suite import VALLEY_BENCHMARKS
 
@@ -95,8 +96,10 @@ class RunConfig:
     scale: float = 1.0
     window: int = 12
     profile_scale: Optional[float] = None
+    fidelity: object = EXACT
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "fidelity", parse_fidelity(self.fidelity))
         benchmark = self.benchmark
         if isinstance(benchmark, str):
             _warn_string_form("benchmark", benchmark)
@@ -153,7 +156,7 @@ class RunConfig:
         worker payloads) is byte-identical to the pre-spec format for
         built-in scenarios.
         """
-        return {
+        data = {
             "benchmark": self.benchmark.compact(),
             "scheme": self.scheme.compact(),
             "seed": self.seed,
@@ -163,6 +166,14 @@ class RunConfig:
             "window": self.window,
             "profile_scale": self.profile_scale,
         }
+        # The exact default is *omitted* (not serialized as "exact"),
+        # keeping every pre-fidelity dict — and therefore every
+        # built-in cache key — byte-identical.  Sampled configs carry
+        # the parameter dict and hash to distinct keys, so sampled and
+        # exact records never collide.
+        if self.fidelity != EXACT:
+            data["fidelity"] = fidelity_to_json(self.fidelity)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunConfig":
@@ -175,6 +186,7 @@ class RunConfig:
             scale=float(data["scale"]),
             window=int(data["window"]),
             profile_scale=float(data["profile_scale"]),
+            fidelity=data.get("fidelity", EXACT),
         )
 
     def config_hash(self) -> str:
@@ -231,8 +243,10 @@ class SweepGrid:
     memories: Tuple[str, ...] = ("gddr5",)
     scale: float = 1.0
     window: int = 12
+    fidelity: object = EXACT
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "fidelity", parse_fidelity(self.fidelity))
         for name in ("benchmarks", "schemes", "seeds", "n_sms", "memories"):
             if not getattr(self, name):
                 raise ValueError(f"sweep grid needs at least one entry in {name!r}")
@@ -279,10 +293,11 @@ class SweepGrid:
                                 memory=memory,
                                 scale=self.scale,
                                 window=self.window,
+                                fidelity=self.fidelity,
                             )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "benchmarks": [b.compact() for b in self.benchmarks],
             "schemes": [s.compact() for s in self.schemes],
             "seeds": list(self.seeds),
@@ -291,6 +306,9 @@ class SweepGrid:
             "scale": self.scale,
             "window": self.window,
         }
+        if self.fidelity != EXACT:  # exact omitted: pre-fidelity byte-parity
+            data["fidelity"] = fidelity_to_json(self.fidelity)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepGrid":
@@ -308,4 +326,5 @@ class SweepGrid:
             memories=tuple(str(m) for m in data["memories"]),
             scale=float(data["scale"]),
             window=int(data["window"]),
+            fidelity=data.get("fidelity", EXACT),
         )

@@ -150,7 +150,7 @@ class RunContext:
             timing=memory.timing,
             dram_power_params=memory.power_params,
         )
-        return system.run(workload)
+        return system.run(workload, fidelity=config.fidelity)
 
 
 # One context per process, created lazily.  ProcessPoolExecutor workers

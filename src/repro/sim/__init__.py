@@ -1,18 +1,29 @@
 """Discrete-event full-system simulator."""
 
 from .engine import Engine, SimulationError
+from .fidelity import EXACT, SampledFidelity, fidelity_to_json, parse_fidelity
 from .gpu_system import GPUSystem, simulate
-from .metrics import MeanStat, OutstandingTracker, combined_parallelism
+from .metrics import (
+    MeanStat,
+    OutstandingTracker,
+    SampledAccounting,
+    combined_parallelism,
+)
 from .results import SimulationResult, perf_per_watt_ratio, speedup
 
 __all__ = [
+    "EXACT",
     "Engine",
     "GPUSystem",
     "MeanStat",
     "OutstandingTracker",
+    "SampledAccounting",
+    "SampledFidelity",
     "SimulationError",
     "SimulationResult",
     "combined_parallelism",
+    "fidelity_to_json",
+    "parse_fidelity",
     "perf_per_watt_ratio",
     "simulate",
     "speedup",

@@ -92,6 +92,19 @@ class Engine:
         """Number of events not yet executed."""
         return self._scheduled - self._events_processed
 
+    @property
+    def idle(self) -> bool:
+        """True when the queue is drained (and ``run`` is not active).
+
+        ``run`` may be called again after it returns — the clock keeps
+        advancing monotonically across calls.  This is the pause/resume
+        contract the sampled-fidelity mode builds on: each detailed
+        sample window schedules its work, drains to idle, and the next
+        window resumes on the same warm engine (``until`` /
+        ``max_events`` bound a window when a model misbehaves).
+        """
+        return not self._running and self._scheduled == self._events_processed
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -1,0 +1,191 @@
+"""Simulation fidelity modes.
+
+The simulator exposes a **fidelity axis** (threaded from
+:class:`~repro.runner.config.RunConfig` all the way into
+:class:`~repro.sim.gpu_system.GPUSystem`):
+
+``"exact"`` (the default)
+    Every cycle of every kernel runs on the discrete-event engine.
+    Byte-identical to the pre-fidelity simulator: same results, same
+    cache keys, no schema bump.
+
+:class:`SampledFidelity`
+    Interval sampling with one detailed sample per kernel.  The
+    parameters are **op shares**: each kernel starts exactly as in
+    exact mode (full TB stream, normal dispatch, real occupancy and
+    co-residency) and runs detailed until ``(warmup + window) /
+    period`` of its ops have *completed*.  The ``warmup / period``
+    share — floored at the machine's in-flight op capacity, so
+    measurement starts past the pipeline-fill ramp — is excluded from
+    measurement; the ``window / period`` share is the measured sample
+    (the kernel's steady cycles-per-completed-request rate).  Then the
+    kernel **freezes**: TBs still queued for dispatch and the
+    in-flight warps' remaining ops are replayed functionally through
+    SM L1 tags, LLC slices and the DRAM row-buffer state machines
+    (pure dict/numpy work, no engine events, no simulated time),
+    keeping microarchitectural state warm, while in-flight detailed
+    requests drain normally.  The skipped ops are extrapolated with
+    the same kernel's measured rate (pooled across the run's windows
+    when a kernel has no measured traffic), and the per-phase
+    estimates are summed into the reported cycle count.  Kernels too
+    small to reach their threshold run to completion — tiny workloads
+    degrade gracefully toward exact simulation.
+
+Serialized form (the shape carried by ``RunConfig.to_dict`` and hashed
+into cache keys): the string ``"exact"``, or::
+
+    {"kind": "sampled", "warmup": 1, "window": 1, "period": 16}
+
+``"exact"`` configs *omit* the fidelity key entirely from their
+serialized dict, so built-in cache keys are byte-identical to the
+pre-fidelity format and warm caches stay warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "EXACT",
+    "SampledFidelity",
+    "Fidelity",
+    "parse_fidelity",
+    "fidelity_to_json",
+]
+
+EXACT = "exact"
+
+# Defaults explored by the sampled-accuracy bench
+# (benchmarks/test_sampled_accuracy.py): a 3/16 detailed op share per
+# kernel.  The effective detailed cost per kernel is this share plus
+# the in-flight-capacity ramp floor, so the wall-clock win grows with
+# workload scale while small kernels stay near-exact.
+DEFAULT_WARMUP = 1
+DEFAULT_WINDOW = 2
+DEFAULT_PERIOD = 16
+
+
+@dataclass(frozen=True)
+class SampledFidelity:
+    """Interval-sampled fidelity parameters (op shares).
+
+    Per kernel, the first ``warmup / period`` share of completed ops
+    is the detailed-but-unmeasured ramp (floored at the machine's
+    in-flight capacity), the next ``window / period`` share is the
+    measured detailed sample, and the remaining ``1 - (warmup +
+    window) / period`` share is fast-forwarded functionally at the
+    freeze point and extrapolated with the measured rate.
+    """
+
+    warmup: int = DEFAULT_WARMUP
+    window: int = DEFAULT_WINDOW
+    period: int = DEFAULT_PERIOD
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.period <= self.warmup + self.window:
+            raise ValueError(
+                f"period must exceed warmup + window (else nothing is "
+                f"fast-forwarded), got period={self.period}, "
+                f"warmup={self.warmup}, window={self.window}"
+            )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": "sampled",
+            "warmup": self.warmup,
+            "window": self.window,
+            "period": self.period,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SampledFidelity":
+        if data.get("kind") != "sampled":
+            raise ValueError(
+                f"not a sampled-fidelity dict: kind={data.get('kind')!r}"
+            )
+        return cls(
+            warmup=int(data.get("warmup", DEFAULT_WARMUP)),
+            window=int(data.get("window", DEFAULT_WINDOW)),
+            period=int(data.get("period", DEFAULT_PERIOD)),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "SampledFidelity":
+        """Parse the CLI form ``sampled[:warmup=W,window=D,period=P]``."""
+        body = text.strip()
+        if body.lower().startswith("sampled"):
+            body = body[len("sampled"):]
+        body = body.lstrip(":")
+        kwargs: Dict[str, int] = {}
+        for part in body.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in ("warmup", "window", "period"):
+                raise ValueError(
+                    f"bad sampled-fidelity parameter {part!r} (expected "
+                    f"warmup=/window=/period=)"
+                )
+            try:
+                kwargs[key] = int(value.strip())
+            except ValueError:
+                raise ValueError(
+                    f"sampled-fidelity parameter {key} must be an integer, "
+                    f"got {value.strip()!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def __str__(self) -> str:
+        return (
+            f"sampled:warmup={self.warmup},window={self.window},"
+            f"period={self.period}"
+        )
+
+
+Fidelity = Union[str, SampledFidelity]
+
+
+def parse_fidelity(value: Optional[object]) -> Fidelity:
+    """Normalize any accepted fidelity form.
+
+    Accepts ``None`` / ``"exact"`` (-> :data:`EXACT`), a
+    :class:`SampledFidelity`, the CLI string form
+    ``sampled[:warmup=..,window=..,period=..]``, or the serialized
+    dict form.
+    """
+    if value is None:
+        return EXACT
+    if isinstance(value, SampledFidelity):
+        return value
+    if isinstance(value, dict):
+        return SampledFidelity.from_json(value)
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in ("", EXACT):
+            return EXACT
+        if text.startswith("sampled"):
+            return SampledFidelity.parse(value.strip())
+        raise ValueError(
+            f"unknown fidelity {value!r} (expected 'exact' or "
+            f"'sampled[:warmup=W,window=D,period=P]')"
+        )
+    raise TypeError(
+        f"fidelity must be a string, dict or SampledFidelity, got "
+        f"{type(value).__name__}"
+    )
+
+
+def fidelity_to_json(fidelity: Fidelity) -> Union[str, Dict[str, object]]:
+    """The JSON-safe form: ``"exact"`` or the sampled parameter dict."""
+    if fidelity == EXACT:
+        return EXACT
+    if isinstance(fidelity, SampledFidelity):
+        return fidelity.to_json()
+    raise TypeError(f"not a normalized fidelity: {fidelity!r}")

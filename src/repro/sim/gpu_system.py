@@ -47,10 +47,11 @@ from ..gpu.noc import Crossbar
 from ..gpu.power import GPUPowerModel, GPUPowerParams, default_gpu_power_params
 from ..gpu.sm import SM, MemRequest
 from ..gpu.tb_scheduler import TBScheduler
-from ..gpu.thread_block import TBContext
+from ..gpu.thread_block import TBContext, WarpContext
 from ..workloads.base import WarpTrace, Workload
 from .engine import Engine
-from .metrics import OutstandingTracker, combined_parallelism
+from .fidelity import EXACT, Fidelity, SampledFidelity, fidelity_to_json, parse_fidelity
+from .metrics import OutstandingTracker, SampledAccounting, combined_parallelism
 from .results import SimulationResult
 
 __all__ = ["GPUSystem", "simulate"]
@@ -127,6 +128,10 @@ class GPUSystem:
         self.scheduler = TBScheduler(self.sms, on_kernel_done=self._kernel_done)
         self._kernels_pending: List[List[TBContext]] = []
         self._finished = False
+        # Sampled-fidelity state: a rotating cursor spreading each
+        # fast-forwarded wave's TBs across the SM L1s (approximating
+        # the dispatcher's least-loaded spread).
+        self._ff_sm_cursor = 0
 
         # Pre-bound callbacks for the engine's closure-free scheduling
         # fast path: no lambda or bound-method allocation per packet.
@@ -349,10 +354,26 @@ class GPUSystem:
         else:
             self._finished = True
 
-    def run(self, workload: Workload, max_events: Optional[int] = None) -> SimulationResult:
-        """Simulate *workload* to completion and collect all metrics."""
+    def run(
+        self,
+        workload: Workload,
+        max_events: Optional[int] = None,
+        fidelity: Fidelity = EXACT,
+    ) -> SimulationResult:
+        """Simulate *workload* to completion and collect all metrics.
+
+        *fidelity* selects the simulation mode (see
+        :mod:`repro.sim.fidelity`): ``"exact"`` (the default) runs
+        every cycle on the event engine and is byte-identical to the
+        pre-fidelity simulator; a :class:`SampledFidelity` alternates
+        detailed sample windows with vectorized functional
+        fast-forward phases and extrapolates the skipped cycles.
+        """
         if self._finished or self.scheduler.tbs_dispatched:
             raise RuntimeError("GPUSystem instances are single-use; build a new one")
+        fidelity = parse_fidelity(fidelity)
+        if isinstance(fidelity, SampledFidelity):
+            return self._run_sampled(workload, fidelity, max_events)
         kernels = []
         for kernel_index, kernel in enumerate(workload.kernels):
             prepare = self._prepare_kernel(kernel)
@@ -370,10 +391,299 @@ class GPUSystem:
         return self._collect(workload)
 
     # ------------------------------------------------------------------
+    # Sampled fidelity: detailed sample windows + kernel fast-forward
+    # ------------------------------------------------------------------
+    # Cycle granularity of the polling loop that watches for the
+    # warmup / window completed-op thresholds inside a kernel.
+    _SAMPLE_POLL_CYCLES = 64
+
+    def _run_sampled(
+        self,
+        workload: Workload,
+        fidelity: SampledFidelity,
+        max_events: Optional[int] = None,
+    ) -> SimulationResult:
+        """Interval-sampled run (see :mod:`repro.sim.fidelity`).
+
+        Each kernel starts exactly as in exact mode — full TB stream,
+        normal dispatch, real occupancy and co-residency — and runs
+        detailed until the first ``(warmup + window) / period`` share
+        of its ops has **completed**: the warmup share re-fills
+        pipeline state (excluded from measurement) and the window
+        share is the measured sample, yielding the kernel's own
+        steady-state cycles-per-completed-request rate.  Then the
+        kernel **freezes** (:meth:`_freeze_kernel`): un-dispatched TBs
+        and the in-flight warps' remaining ops are replayed
+        functionally — through SM L1 tags, LLC slices and the DRAM
+        row-buffer state machines, in dispatch-window-sized groups
+        with round-robin warp interleaving — while the in-flight
+        detailed requests drain normally on the engine.  The skipped
+        ops are extrapolated with the same kernel's measured rate
+        (:class:`~repro.sim.metrics.SampledAccounting`), so
+        per-kernel heterogeneity is sampled rather than assumed.
+
+        Kernels too small to reach their threshold (or whose detailed
+        share covers everything) simply run to completion — tiny
+        workloads degrade gracefully toward exact simulation.
+        """
+        accounting = SampledAccounting()
+        engine = self.engine
+        poll = self._SAMPLE_POLL_CYCLES
+
+        # One event budget across the whole run, like exact mode: each
+        # engine.run call gets the *remaining* allowance, not a fresh
+        # copy per 64-cycle poll.
+        def remaining_events() -> Optional[int]:
+            if max_events is None:
+                return None
+            return max(0, max_events - engine.events_processed)
+
+        for kernel_index, kernel in enumerate(workload.kernels):
+            prepare = self._prepare_kernel(kernel)
+            contexts = [TBContext(tb, kernel_index, prepare) for tb in kernel.tbs]
+            kernel_ops = sum(w.n_ops for tb in contexts for w in tb.warps)
+            kernel_warps = sum(
+                1 for tb in contexts for w in tb.warps if w.n_ops
+            )
+            # The measured window must start past the machine's fill
+            # ramp: completions only reach steady state once the
+            # in-flight population saturates, which takes about one
+            # flight's worth of ops.  The warmup share is therefore
+            # floored at the in-flight op capacity.
+            if len(contexts):
+                resident_warps = kernel_warps * min(
+                    1.0, self.config.max_concurrent_tbs / len(contexts)
+                )
+            else:
+                resident_warps = 0.0
+            ramp_ops = int(resident_warps) * self.config.max_outstanding_per_warp
+            warmup_target = max(
+                (kernel_ops * fidelity.warmup) // fidelity.period, ramp_ops
+            )
+            detailed_span = fidelity.warmup + fidelity.window
+            detailed_target = max(
+                -(-(kernel_ops * detailed_span) // fidelity.period),
+                warmup_target + (kernel_ops * fidelity.window) // fidelity.period,
+            )
+            cycles_start = engine.now
+            completed_start = self._requests_completed()
+            window_start = None
+            self.scheduler.load_kernel(contexts)
+            while True:
+                engine.run(until=engine.now + poll, max_events=remaining_events())
+                done = self.scheduler.idle and engine.idle
+                completed = self._requests_completed() - completed_start
+                if window_start is None and (done or completed >= warmup_target):
+                    window_start = (engine.now, completed)
+                if done or completed >= detailed_target:
+                    break
+            if not self.scheduler.idle:
+                # Freeze: measure the window, fast-forward the rest of
+                # the kernel, and let the in-flight requests drain.
+                accounting.record_window(
+                    engine.now - window_start[0],
+                    completed - window_start[1],
+                )
+                skipped, noc_flits = self._freeze_kernel()
+                accounting.record_fast_forward(skipped, noc_flits)
+                engine.run(max_events=remaining_events())
+                if not self.scheduler.idle or not engine.idle:
+                    raise RuntimeError(
+                        "sampled kernel failed to drain after its freeze "
+                        f"({self.scheduler.in_flight} TBs in flight)"
+                    )
+            else:
+                # The kernel finished inside its detailed share:
+                # everything is real, nothing to extrapolate.
+                accounting.record_window(engine.now - cycles_start, completed)
+        self._finished = True
+        return self._collect(workload, sampled=(fidelity, accounting))
+
+    def _requests_completed(self) -> int:
+        return sum(sm.ops_completed for sm in self.sms)
+
+    def _active_warps(self) -> List[WarpContext]:
+        """In-flight warps with un-issued ops, in SM/TB/warp order."""
+        return [
+            warp
+            for sm in self.sms
+            for tb in sm.active_tbs
+            for warp in tb.warps
+            if not warp.issued_all
+        ]
+
+    def _freeze_kernel(self):
+        """Fast-forward everything left of the current kernel.
+
+        Two populations are skipped: the in-flight warps' remaining
+        ops (their cursors jump to the end; pending engine events
+        resolve through the issue path's cursor guards), and the TBs
+        still queued for dispatch (replayed wholesale, in
+        dispatch-window-sized groups so only TBs that would plausibly
+        co-execute are interleaved).  Returns ``(ops_skipped,
+        estimated_noc_flits)``.
+        """
+        total_skipped = 0
+        total_flits = 0
+        # Group 0: the in-flight warps, on their real SMs.  A warp
+        # parked on a full MSHR file replays from its *current* op,
+        # whose L1 miss was already counted at the failed issue — the
+        # replay's extra L1 touch mirrors the re-access an exact-mode
+        # retry performs, and dropping the op would instead lose its
+        # LLC/DRAM traffic.
+        streams = []
+        for warp in self._active_warps():
+            chunk = warp.fast_forward_rest()
+            if chunk[0]:
+                streams.append((warp.tb.sm_id, chunk))
+        if streams:
+            skipped, flits = self._replay_interleaved(streams)
+            total_skipped += skipped
+            total_flits += flits
+        # Later groups: queued TBs in dispatch order, one machine
+        # window at a time, spread round-robin across the SM L1s.
+        pending = self.scheduler.take_pending()
+        wave_cap = max(1, self.config.max_concurrent_tbs)
+        n_sms = len(self.sms)
+        for start in range(0, len(pending), wave_cap):
+            streams = []
+            for tb in pending[start:start + wave_cap]:
+                sm_id = self._ff_sm_cursor % n_sms
+                self._ff_sm_cursor += 1
+                for warp in tb.warps:
+                    chunk = warp.fast_forward_rest()
+                    if chunk[0]:
+                        streams.append((sm_id, chunk))
+            if streams:
+                skipped, flits = self._replay_interleaved(streams)
+                total_skipped += skipped
+                total_flits += flits
+        return total_skipped, total_flits
+
+    def _replay_interleaved(self, streams):
+        """Round-robin-interleave warp op streams and replay them.
+
+        *streams* is a list of ``(sm_id, (lines, channels, banks,
+        rows, slices, writes))`` per warp; ops are merged one per warp
+        per turn — approximately the order co-resident warps would
+        issue in — and handed to :meth:`_replay_ops`.
+        """
+        sm_ids: List[int] = []
+        lines: List[int] = []
+        channels: List[int] = []
+        banks: List[int] = []
+        rows: List[int] = []
+        slice_ids: List[int] = []
+        writes: List[bool] = []
+        position = 0
+        active = list(streams)
+        while active:
+            still_active = []
+            for stream in active:
+                sm_id, (c_lines, c_channels, c_banks, c_rows, c_slices, c_writes) = stream
+                sm_ids.append(sm_id)
+                lines.append(c_lines[position])
+                channels.append(c_channels[position])
+                banks.append(c_banks[position])
+                rows.append(c_rows[position])
+                slice_ids.append(c_slices[position])
+                writes.append(c_writes[position])
+                if position + 1 < len(c_lines):
+                    still_active.append(stream)
+            active = still_active
+            position += 1
+        if not lines:
+            return 0, 0
+        return self._replay_ops(
+            sm_ids, lines, channels, banks, rows, slice_ids, writes
+        )
+
+
+    def _replay_ops(self, sm_ids, lines, channels, banks, rows, slice_ids, writes):
+        """Replay an ordered op stream functionally through the hierarchy.
+
+        L1 filtering happens per SM (each SM sees its own sub-stream,
+        order preserved), surviving traffic is grouped per LLC slice,
+        and the resulting DRAM reads plus dirty-victim writebacks are
+        replayed through the per-bank row-buffer state machines.
+        Returns ``(ops_replayed, estimated_noc_flits)``.
+        """
+        total_ops = len(lines)
+        per_sm_positions: Dict[int, List[int]] = {}
+        for position, sm_id in enumerate(sm_ids):
+            per_sm_positions.setdefault(sm_id, []).append(position)
+        forwarded: List[int] = []
+        for sm_id in sorted(per_sm_positions):
+            positions = per_sm_positions[sm_id]
+            kept = self.sms[sm_id].warm_l1(
+                [lines[p] for p in positions],
+                [writes[p] for p in positions],
+            )
+            forwarded.extend(positions[k] for k in kept)
+        forwarded.sort()
+        data_flits = self.config.data_packet_flits
+        read_flits = self.config.noc_control_flits + data_flits
+        n_slices = self.config.llc_slices
+        n_channels = self.timing.channels
+        # Post-L1 traffic grouped per LLC slice in replay order (a
+        # slice only ever sees its own sub-stream).
+        slice_lines: List[List[int]] = [[] for _ in range(n_slices)]
+        slice_writes: List[List[bool]] = [[] for _ in range(n_slices)]
+        slice_coords: List[List[tuple]] = [[] for _ in range(n_slices)]
+        noc_flits = 0
+        for position in forwarded:
+            slice_id = slice_ids[position]
+            slice_lines[slice_id].append(lines[position])
+            is_write = writes[position]
+            slice_writes[slice_id].append(is_write)
+            slice_coords[slice_id].append(
+                (channels[position], banks[position], rows[position])
+            )
+            noc_flits += data_flits if is_write else read_flits
+        channel_banks: List[List[int]] = [[] for _ in range(n_channels)]
+        channel_rows: List[List[int]] = [[] for _ in range(n_channels)]
+        channel_reads = [0] * n_channels
+        writeback_lines: List[int] = []
+        for slice_id in range(n_slices):
+            if not slice_lines[slice_id]:
+                continue
+            miss_positions, victims = self.slices[slice_id].warm_many(
+                slice_lines[slice_id], slice_writes[slice_id]
+            )
+            writeback_lines.extend(victims)
+            slice_meta = slice_coords[slice_id]
+            for miss in miss_positions:
+                channel, bank, row = slice_meta[miss]
+                channel_banks[channel].append(bank)
+                channel_rows[channel].append(row)
+                channel_reads[channel] += 1
+        channel_writes = [0] * n_channels
+        if writeback_lines:
+            fields = decode_fields(
+                self.address_map, np.asarray(writeback_lines, dtype=np.uint64)
+            )
+            wb_channels = self._channels_of(fields).tolist()
+            wb_banks = fields["bank"].tolist()
+            wb_rows = fields["row"].tolist()
+            for channel, bank, row in zip(wb_channels, wb_banks, wb_rows):
+                channel_banks[channel].append(bank)
+                channel_rows[channel].append(row)
+                channel_writes[channel] += 1
+        for channel in range(n_channels):
+            if channel_banks[channel]:
+                self.dram.controllers[channel].replay_traffic(
+                    channel_banks[channel], channel_rows[channel],
+                    channel_reads[channel], channel_writes[channel],
+                )
+        return total_ops, noc_flits
+
+
+    # ------------------------------------------------------------------
     # Metric collection
     # ------------------------------------------------------------------
-    def _collect(self, workload: Workload) -> SimulationResult:
-        now = max(self.engine.now, 1)
+    def _collect(self, workload: Workload, sampled=None) -> SimulationResult:
+        detailed_cycles = max(self.engine.now, 1)
+        now = detailed_cycles
         l1_accesses = sum(sm.l1.stats.accesses for sm in self.sms)
         l1_misses = sum(sm.l1.stats.misses for sm in self.sms)
         llc_accesses = sum(s.cache.stats.accesses for s in self.slices)
@@ -383,6 +693,22 @@ class GPUSystem:
             self.request_noc.stats.total_latency + self.response_noc.stats.total_latency
         )
         noc_flits = self.request_noc.stats.flits + self.response_noc.stats.flits
+        metadata_extra: Dict[str, object] = {}
+        if sampled is not None:
+            # Sampled fidelity: total cycles = real detailed cycles +
+            # the fast-forwarded phases' extrapolated share; counters
+            # (cache stats, DRAM activity, the NoC flits estimated for
+            # fast-forwarded traffic) already integrate both kinds of
+            # phase, so the count-based power models stay consistent.
+            fidelity, accounting = sampled
+            now = detailed_cycles + accounting.extrapolated_cycles()
+            noc_flits += accounting.ff_noc_flits
+            metadata_extra = {
+                "fidelity": fidelity_to_json(fidelity),
+                "sampled": dict(
+                    accounting.metadata(), detailed_cycles=detailed_cycles
+                ),
+            }
         instructions = workload.approx_instructions
         gpu_power_model = GPUPowerModel(
             default_gpu_power_params(), self.config.clock_mhz
@@ -414,6 +740,7 @@ class GPUSystem:
                 "max_tbs_in_flight": self.scheduler.max_in_flight,
                 "n_sms": self.config.n_sms,
                 "dram_config": self.timing.name,
+                **metadata_extra,
             },
         )
 
@@ -424,9 +751,10 @@ def simulate(
     config: Optional[GPUConfig] = None,
     timing: Optional[DRAMTiming] = None,
     dram_power_params: Optional[DRAMPowerParams] = None,
+    fidelity: Fidelity = EXACT,
 ) -> SimulationResult:
     """Convenience wrapper: build a system, run one workload, return results."""
     system = GPUSystem(
         scheme, config=config, timing=timing, dram_power_params=dram_power_params
     )
-    return system.run(workload)
+    return system.run(workload, fidelity=fidelity)

@@ -18,9 +18,14 @@ Three trackers instrument a run:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["OutstandingTracker", "MeanStat", "combined_parallelism"]
+__all__ = [
+    "OutstandingTracker",
+    "MeanStat",
+    "SampledAccounting",
+    "combined_parallelism",
+]
 
 
 class OutstandingTracker:
@@ -111,6 +116,90 @@ def combined_parallelism(trackers: Sequence[OutstandingTracker], now: int) -> fl
     if not total_active:
         return 0.0
     return total_integral / total_active
+
+
+class SampledAccounting:
+    """Per-phase bookkeeping for sampled-fidelity runs.
+
+    A sampled run (see :mod:`repro.sim.fidelity`) alternates measured
+    detailed windows and functional fast-forward phases.  This
+    accumulator records each window's ``(cycles, requests)`` and each
+    fast-forward phase's request count, then integrates the total:
+    every fast-forward phase is extrapolated with the cycles-per-request
+    rate of the *nearest preceding* measured window (falling back to
+    the nearest following one), so phase weighting follows the local
+    execution rate rather than a single global average.
+    """
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[int, int]] = []  # (cycles, requests)
+        self._ff: List[Tuple[int, int]] = []  # (requests, windows seen)
+        self.window_requests = 0
+        self.ff_requests = 0
+        self.ff_noc_flits = 0
+
+    def record_window(self, cycles: int, requests: int) -> None:
+        """One measured detailed window: real cycles, real requests."""
+        if cycles < 0 or requests < 0:
+            raise ValueError(
+                f"window measurements cannot be negative: "
+                f"cycles={cycles}, requests={requests}"
+            )
+        self._windows.append((cycles, requests))
+        self.window_requests += requests
+
+    def record_fast_forward(self, requests: int, noc_flits: int = 0) -> None:
+        """One functional fast-forward phase (no simulated time)."""
+        self._ff.append((requests, len(self._windows)))
+        self.ff_requests += requests
+        self.ff_noc_flits += noc_flits
+
+    @property
+    def windows(self) -> int:
+        return len(self._windows)
+
+    def _rate_for(self, windows_seen: int) -> Optional[float]:
+        """Cycles-per-request rate for a phase that had seen N windows.
+
+        Prefers the phase's *own* window — the immediately preceding
+        one, which in the kernel-freeze scheme was measured inside the
+        very kernel being extrapolated, so per-kernel heterogeneity is
+        captured — and falls back to the run's pooled
+        (request-weighted) rate when that window saw no traffic.
+        """
+        if windows_seen:
+            cycles, requests = self._windows[windows_seen - 1]
+            if requests:
+                return cycles / requests
+        cycles = requests = 0
+        for window_cycles, window_requests in self._windows:
+            cycles += window_cycles
+            requests += window_requests
+        if requests:
+            return cycles / requests
+        return None
+
+    def extrapolated_cycles(self) -> int:
+        """Estimated cycles of all fast-forwarded work (integer)."""
+        total = 0.0
+        for requests, windows_seen in self._ff:
+            if not requests:
+                continue
+            rate = self._rate_for(windows_seen)
+            if rate is None:
+                continue  # no measured traffic anywhere: nothing to scale
+            total += requests * rate
+        return int(round(total))
+
+    def metadata(self) -> Dict[str, object]:
+        """JSON-safe summary for the result record's metadata."""
+        return {
+            "windows": len(self._windows),
+            "window_requests": self.window_requests,
+            "ff_phases": len(self._ff),
+            "ff_requests": self.ff_requests,
+            "estimated_ff_cycles": self.extrapolated_cycles(),
+        }
 
 
 class MeanStat:

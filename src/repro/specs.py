@@ -608,8 +608,15 @@ class ScenarioSpec:
     memories: Tuple[str, ...] = ("gddr5",)
     scale: float = 1.0
     window: int = 12
+    fidelity: object = "exact"
 
     def __post_init__(self) -> None:
+        from .sim.fidelity import parse_fidelity
+
+        try:
+            object.__setattr__(self, "fidelity", parse_fidelity(self.fidelity))
+        except (TypeError, ValueError) as error:
+            raise SpecError(str(error)) from None
         object.__setattr__(self, "benchmarks", tuple(
             WorkloadSpec.from_value(b) for b in self.benchmarks
         ))
@@ -636,10 +643,13 @@ class ScenarioSpec:
             memories=self.memories,
             scale=self.scale,
             window=self.window,
+            fidelity=self.fidelity,
         )
 
     def to_dict(self) -> Dict:
-        return {
+        from .sim.fidelity import EXACT, fidelity_to_json
+
+        data = {
             "type": SCENARIO_SPEC_TYPE,
             "benchmarks": [b.compact() for b in self.benchmarks],
             "schemes": [s.compact() for s in self.schemes],
@@ -649,6 +659,9 @@ class ScenarioSpec:
             "scale": self.scale,
             "window": self.window,
         }
+        if self.fidelity != EXACT:  # exact omitted: pre-fidelity byte-parity
+            data["fidelity"] = fidelity_to_json(self.fidelity)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ScenarioSpec":
@@ -677,6 +690,7 @@ class ScenarioSpec:
                 memories=axis("memories", ("gddr5",)),
                 scale=float(data.get("scale", 1.0)),
                 window=int(data.get("window", 12)),
+                fidelity=data.get("fidelity", "exact"),
             )
         except TypeError as error:
             raise SpecError(f"malformed scenario spec: {error}") from None

@@ -1,0 +1,166 @@
+"""Fidelity on the runner config surface.
+
+Two contracts are pinned here:
+
+* ``fidelity="exact"`` (the default) leaves every built-in grid's
+  serialized configs and cache keys **byte-identical to the PR 4
+  format** — the fidelity key is omitted entirely, so warm caches stay
+  warm and no ``CACHE_SCHEMA_VERSION`` bump is needed.  The reference
+  payload is reconstructed independently below.
+* sampled-mode reports are deterministic: the same grid produces
+  byte-identical reports across worker counts and cache states, and
+  sampled records never collide with exact ones.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    CACHE_SCHEMA_VERSION,
+    RunConfig,
+    SweepGrid,
+    SweepRunner,
+    render_report,
+    sweep_report,
+)
+from repro.core.serialize import stable_hash
+from repro.sim.fidelity import EXACT, SampledFidelity
+from repro.specs import ScenarioSpec, SchemeSpec, WorkloadSpec
+
+SAMPLED = SampledFidelity(warmup=1, window=2, period=16)
+
+
+def pr4_payload(config: RunConfig) -> dict:
+    """The serialized form a PR 4 config produced (no fidelity key)."""
+    return {
+        "benchmark": config.benchmark.compact(),
+        "scheme": config.scheme.compact(),
+        "seed": config.seed,
+        "n_sms": config.n_sms,
+        "memory": config.memory,
+        "scale": config.scale,
+        "window": config.window,
+        "profile_scale": config.profile_scale,
+    }
+
+
+def pr4_hash(config: RunConfig) -> str:
+    payload = pr4_payload(config)
+    payload["benchmark"] = config.benchmark.identity()
+    payload["scheme"] = config.scheme.identity()
+    payload["__schema__"] = CACHE_SCHEMA_VERSION
+    return stable_hash(payload)
+
+
+BUILT_IN_GRIDS = [
+    SweepGrid(),  # the full default grid (valley suite x 6 schemes)
+    SweepGrid(benchmarks=("MT", "SP"), schemes=("PM", "PAE"), scale=0.25),
+    SweepGrid(
+        benchmarks=("LU",), schemes=("RMP",), seeds=(0, 1),
+        n_sms=(8, 12), memories=("gddr5", "stacked"), scale=0.5, window=8,
+    ),
+]
+
+
+class TestExactByteParity:
+    @pytest.mark.parametrize("grid", BUILT_IN_GRIDS, ids=["default", "small", "axes"])
+    def test_every_config_serializes_like_pr4(self, grid):
+        for config in grid.configs():
+            assert config.fidelity == EXACT
+            assert config.to_dict() == pr4_payload(config)
+            assert "fidelity" not in config.to_dict()
+
+    @pytest.mark.parametrize("grid", BUILT_IN_GRIDS, ids=["default", "small", "axes"])
+    def test_every_cache_key_matches_pr4(self, grid):
+        for config in grid.configs():
+            assert config.config_hash() == pr4_hash(config)
+
+    def test_grid_dict_has_no_fidelity_key(self):
+        assert "fidelity" not in SweepGrid().to_dict()
+        assert "fidelity" not in ScenarioSpec(
+            benchmarks=("MT",), schemes=("PM",)
+        ).to_dict()
+
+    def test_exact_round_trip(self):
+        config = SweepGrid(benchmarks=("MT",), schemes=("PM",)).configs()[0]
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+
+class TestSampledKeys:
+    def config(self, fidelity):
+        return RunConfig(
+            benchmark=WorkloadSpec.registered("MT"),
+            scheme=SchemeSpec.registered("PM"),
+            scale=0.25,
+            fidelity=fidelity,
+        )
+
+    def test_sampled_and_exact_never_collide(self):
+        assert self.config(EXACT).config_hash() != self.config(SAMPLED).config_hash()
+
+    def test_distinct_parameters_distinct_keys(self):
+        a = self.config(SampledFidelity(1, 2, 16))
+        b = self.config(SampledFidelity(1, 2, 32))
+        assert a.config_hash() != b.config_hash()
+
+    def test_sampled_round_trip(self):
+        config = self.config(SAMPLED)
+        restored = RunConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.config_hash() == config.config_hash()
+
+    def test_scenario_spec_round_trip(self):
+        spec = ScenarioSpec(
+            benchmarks=("MT",), schemes=("PM",), scale=0.25, fidelity=SAMPLED
+        )
+        restored = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert restored == spec
+        assert restored.grid().configs() == spec.grid().configs()
+
+
+class TestSampledDeterminism:
+    GRID = SweepGrid(
+        benchmarks=("MT",), schemes=("PM",), scale=0.25, fidelity=SAMPLED
+    )
+
+    def test_report_identical_across_worker_counts(self):
+        serial = SweepRunner(workers=1)
+        try:
+            report_serial = render_report(sweep_report(self.GRID, serial))
+        finally:
+            serial.close()
+        parallel = SweepRunner(workers=2)
+        try:
+            report_parallel = render_report(sweep_report(self.GRID, parallel))
+        finally:
+            parallel.close()
+        assert report_serial == report_parallel
+
+    def test_report_identical_cold_vs_warm_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        runner = SweepRunner(workers=1, cache_dir=str(cache_dir))
+        try:
+            cold = render_report(sweep_report(self.GRID, runner))
+        finally:
+            runner.close()
+        warm_runner = SweepRunner(workers=1, cache_dir=str(cache_dir))
+        try:
+            warm = render_report(sweep_report(self.GRID, warm_runner))
+            assert warm_runner.stats.executed == 0  # served from disk
+        finally:
+            warm_runner.close()
+        assert cold == warm
+
+    def test_sampled_report_differs_from_exact(self):
+        exact_grid = SweepGrid(benchmarks=("MT",), schemes=("PM",), scale=0.25)
+        runner = SweepRunner(workers=1)
+        try:
+            sampled = sweep_report(self.GRID, runner)
+            exact = sweep_report(exact_grid, runner)
+        finally:
+            runner.close()
+        assert sampled["grid"] != exact["grid"]
+        assert sampled["runs"][0]["config"] != exact["runs"][0]["config"]

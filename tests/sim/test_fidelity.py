@@ -1,0 +1,150 @@
+"""Fidelity modes: parsing, serialization, exact parity, sampled runs."""
+
+import pytest
+
+from repro.core import hynix_gddr5_map
+from repro.registry import make_scheme, make_workload
+from repro.sim.fidelity import (
+    EXACT,
+    SampledFidelity,
+    fidelity_to_json,
+    parse_fidelity,
+)
+from repro.sim.gpu_system import GPUSystem
+
+AMAP = hynix_gddr5_map()
+
+
+def small_workload(scale=0.25, name="MT"):
+    return make_workload(name, scale=scale)
+
+
+def fresh_system(scheme_name="BASE"):
+    return GPUSystem(make_scheme(scheme_name, AMAP))
+
+
+class TestParsing:
+    def test_exact_forms(self):
+        assert parse_fidelity(None) == EXACT
+        assert parse_fidelity("exact") == EXACT
+        assert parse_fidelity("  EXACT ") == EXACT
+        assert parse_fidelity("") == EXACT
+
+    def test_sampled_default(self):
+        assert parse_fidelity("sampled") == SampledFidelity()
+
+    def test_sampled_with_params(self):
+        fid = parse_fidelity("sampled:warmup=2,window=3,period=24")
+        assert fid == SampledFidelity(warmup=2, window=3, period=24)
+
+    def test_sampled_partial_params(self):
+        fid = parse_fidelity("sampled:period=64")
+        assert fid.period == 64
+        assert fid.warmup == SampledFidelity().warmup
+
+    def test_dict_form(self):
+        data = {"kind": "sampled", "warmup": 1, "window": 2, "period": 8}
+        assert parse_fidelity(data) == SampledFidelity(1, 2, 8)
+
+    def test_passthrough(self):
+        fid = SampledFidelity(1, 1, 4)
+        assert parse_fidelity(fid) is fid
+
+    @pytest.mark.parametrize("bad", ["bogus", "sampled:oops=3", "sampled:warmup=x"])
+    def test_bad_strings(self, bad):
+        with pytest.raises(ValueError):
+            parse_fidelity(bad)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            parse_fidelity(3.14)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledFidelity(warmup=-1)
+        with pytest.raises(ValueError):
+            SampledFidelity(window=0)
+        with pytest.raises(ValueError):
+            SampledFidelity(warmup=4, window=4, period=8)  # nothing skipped
+
+    def test_json_round_trip(self):
+        fid = SampledFidelity(2, 5, 32)
+        assert parse_fidelity(fidelity_to_json(fid)) == fid
+        assert fidelity_to_json(EXACT) == "exact"
+
+    def test_str_form_round_trips(self):
+        fid = SampledFidelity(2, 5, 32)
+        assert parse_fidelity(str(fid)) == fid
+
+
+class TestExactParity:
+    def test_exact_is_default_and_identical(self):
+        """run() with fidelity='exact' matches the plain run() exactly."""
+        workload = small_workload()
+        default = fresh_system().run(workload)
+        explicit = fresh_system().run(workload, fidelity="exact")
+        assert default.to_dict() == explicit.to_dict()
+
+    def test_exact_metadata_has_no_fidelity_key(self):
+        result = fresh_system().run(small_workload())
+        assert "fidelity" not in result.metadata
+        assert "sampled" not in result.metadata
+
+
+class TestSampledRuns:
+    FID = SampledFidelity(warmup=1, window=2, period=16)
+
+    def test_deterministic(self):
+        workload = small_workload()
+        first = fresh_system("PAE").run(workload, fidelity=self.FID)
+        second = fresh_system("PAE").run(workload, fidelity=self.FID)
+        assert first.to_dict() == second.to_dict()
+
+    def test_metadata_records_mode(self):
+        result = fresh_system().run(small_workload(), fidelity=self.FID)
+        assert result.metadata["fidelity"] == self.FID.to_json()
+        sampled = result.metadata["sampled"]
+        assert sampled["windows"] >= 1
+        assert sampled["window_requests"] > 0
+        assert (
+            sampled["window_requests"] + sampled["ff_requests"]
+            <= small_workload().n_requests
+        )
+
+    def test_string_fidelity_accepted(self):
+        result = fresh_system().run(
+            small_workload(), fidelity="sampled:warmup=1,window=2,period=16"
+        )
+        assert result.metadata["fidelity"]["kind"] == "sampled"
+
+    def test_cycles_in_plausible_range(self):
+        """Sampled cycles approximate exact (loose sanity band)."""
+        workload = small_workload(scale=0.5)
+        exact = fresh_system().run(workload)
+        sampled = fresh_system().run(workload, fidelity=self.FID)
+        assert 0.4 * exact.cycles < sampled.cycles < 2.5 * exact.cycles
+
+    def test_counters_cover_all_requests(self):
+        """Cache/DRAM counters integrate detailed + fast-forwarded work."""
+        workload = small_workload(scale=0.5)
+        exact = fresh_system().run(workload)
+        sampled = fresh_system().run(workload, fidelity=self.FID)
+        # Every request passes an L1 once, detailed or replayed.
+        assert sampled.requests == exact.requests
+        assert sampled.dram_reads > 0
+        assert sampled.row_hit_rate > 0
+        assert sampled.dram_power.total > 0
+
+    def test_degenerates_to_mostly_detailed_on_tiny_workloads(self):
+        """A workload smaller than the ramp floor runs ~everything."""
+        workload = small_workload(scale=0.25, name="HS")
+        sampled = fresh_system().run(workload, fidelity=self.FID)
+        meta = sampled.metadata["sampled"]
+        assert meta["ff_requests"] < workload.n_requests
+
+    def test_single_use_still_enforced(self):
+        workload = small_workload()
+        system = fresh_system()
+        system.run(workload, fidelity=self.FID)
+        with pytest.raises(RuntimeError):
+            system.run(workload, fidelity=self.FID)

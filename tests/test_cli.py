@@ -349,3 +349,57 @@ def cliplug(address_map):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["definitely-not-a-command"])
+
+
+class TestProfile:
+    def test_profile_prints_stats(self, capsys):
+        assert main([
+            "profile", "SP", "--scheme", "BASE", "--scale", "0.25",
+            "--limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumtime" in out
+        assert "function calls" in out
+
+    def test_profile_sampled_and_sort(self, capsys):
+        assert main([
+            "profile", "SP", "--scale", "0.25", "--limit", "3",
+            "--sort", "tottime",
+            "--fidelity", "sampled:warmup=1,window=2,period=16",
+        ]) == 0
+        assert "tottime" in capsys.readouterr().out
+
+
+class TestFidelityFlag:
+    def test_sweep_sampled_fidelity(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", "PM",
+            "--scale", "0.25", "--cache-dir", "",
+            "--fidelity", "sampled:warmup=1,window=2,period=16",
+            "-o", str(out),
+        ]) == 0
+        report = json.loads(out.read_text())
+        assert report["grid"]["fidelity"] == {
+            "kind": "sampled", "warmup": 1, "window": 2, "period": 16,
+        }
+        for run in report["runs"]:
+            assert run["config"]["fidelity"]["kind"] == "sampled"
+
+    def test_exact_sweep_report_has_no_fidelity_key(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", "PM",
+            "--scale", "0.25", "--cache-dir", "", "-o", str(out),
+        ]) == 0
+        report = json.loads(out.read_text())
+        assert "fidelity" not in report["grid"]
+        for run in report["runs"]:
+            assert "fidelity" not in run["config"]
+
+    def test_bad_fidelity_fails_cleanly(self, capsys):
+        assert main([
+            "sweep", "--benchmarks", "SP", "--schemes", "PM",
+            "--scale", "0.25", "--cache-dir", "", "--fidelity", "bogus",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
