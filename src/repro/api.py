@@ -124,11 +124,16 @@ def simulate(
 ) -> SimulationResult:
     """Run one (workload, scheme) scenario and return its result.
 
-    *fidelity* selects the simulation mode (``"exact"`` — the default,
-    byte-identical to the pre-fidelity simulator — or
+    *fidelity* selects the simulation mode: ``"exact"`` (the default,
+    byte-identical to the pre-fidelity simulator),
     ``"sampled[:warmup=..,window=..,period=..]"`` /
     :class:`~repro.sim.fidelity.SampledFidelity` for interval-sampled
-    approximation; see :mod:`repro.sim.fidelity`).
+    approximation, or ``"auto[:exemplars=..,...]"`` /
+    :class:`~repro.sim.fidelity.AutoFidelity` for the per-kernel
+    planned mode (repeated kernels are replayed functionally and
+    estimated from measured exemplars; the plan is shared across all
+    schemes of a sweep so figure-12 ratios stay accurate).  See
+    :mod:`repro.sim.fidelity`.
     """
     config = _config(
         benchmark, scheme, seed=seed, n_sms=n_sms, memory=memory,

@@ -448,9 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
     def add_fidelity_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--fidelity", default="exact",
-            help="simulation fidelity: 'exact' (default), or "
+            help="simulation fidelity: 'exact' (default), "
                  "'sampled[:warmup=W,window=D,period=P]' for interval-"
-                 "sampled approximation (see repro.sim.fidelity)",
+                 "sampled approximation, or 'auto[:exemplars=N,...]' for "
+                 "the per-kernel planned mode (see repro.sim.fidelity)",
         )
 
     def add_register_arg(p: argparse.ArgumentParser) -> None:

@@ -110,6 +110,11 @@ class MemoryController:
     def pending(self) -> int:
         return len(self._scheduler)
 
+    @property
+    def peak_queue_depth(self) -> int:
+        """High-water mark of this channel's request queue."""
+        return self._scheduler.peak_depth
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -75,6 +75,11 @@ class FRFCFSScheduler:
         self._row_fifos: List[Dict[int, Deque[int]]] = [{} for _ in range(n_banks)]
         self._seq = 0
         self._size = 0
+        # High-water mark of the channel queue.  Sampled-fidelity drift
+        # correction reads queue depth as its steady-state signal, and
+        # the peak is the cheap summary of how deep this channel ever
+        # ran (depth is what FR-FCFS row-hit rate improves with).
+        self.peak_depth = 0
         # Round-robin start position so that equal-age requests do not
         # starve high-numbered banks.  All n rotations are precomputed
         # once; select() runs on every controller wake, so building the
@@ -107,6 +112,8 @@ class FRFCFSScheduler:
         else:
             fifo.append(seq)
         self._size += 1
+        if self._size > self.peak_depth:
+            self.peak_depth = self._size
 
     def enqueue_many(self, requests: Sequence[DRAMRequest]) -> None:
         """Bulk-add a batch of requests (one bookkeeping pass).
@@ -129,6 +136,8 @@ class FRFCFSScheduler:
             seq += 1
         self._seq = seq
         self._size += len(requests)
+        if self._size > self.peak_depth:
+            self.peak_depth = self._size
 
     def _pop(self, bank_idx: int, seq: int, request: DRAMRequest) -> None:
         """Remove a picked request (always the head of its row FIFO)."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["CacheStats", "SetAssociativeCache", "MSHRFile", "MSHROutcome"]
 
 
@@ -150,6 +152,29 @@ class SetAssociativeCache:
                 folded >>= self._set_bits
         return index % self._sets
 
+    def set_indices_array(self, lines: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`_set_index` over aligned line addresses.
+
+        Bit-identical to the scalar fold for indexes below 2**64 (all
+        three paths: doubling-shift cascade, generic chunked fold, and
+        plain modulo).  Used by the sampled-fidelity replay to hoist
+        the set hash out of the per-op warm loops.
+        """
+        index = np.asarray(lines, dtype=np.uint64) >> np.uint64(self._line_shift)
+        shifts = self._fold_shifts
+        if shifts is not None:
+            for shift in shifts:
+                index = index ^ (index >> np.uint64(shift))
+            return (index & np.uint64(self._set_mask)).astype(np.int64)
+        if self._hash_sets:
+            folded = index
+            index = np.zeros_like(folded)
+            bits = np.uint64(self._set_bits)
+            while folded.any():
+                index ^= folded
+                folded = folded >> bits
+        return (index % np.uint64(self._sets)).astype(np.int64)
+
     def probe(self, address: int) -> bool:
         """True if the line holding *address* is present (no LRU update)."""
         line = self.line_address(address)
@@ -268,52 +293,72 @@ class SetAssociativeCache:
     # time removed: a read miss installs its line immediately, which
     # also stands in for MSHR merging (later accesses to the line hit).
 
-    def warm_through_many(self, lines: Sequence[int], writes: Sequence[bool]) -> List[int]:
+    def warm_through_many(
+        self,
+        lines: Sequence[int],
+        writes: Sequence[bool],
+        set_ids: Optional[Sequence[int]] = None,
+    ) -> List[int]:
         """Replay accesses under the L1 policy (write-through,
         no-write-allocate; read misses fill).
 
         Returns the positions of accesses forwarded downstream: every
         write (write-through) plus every read miss.  Victims are never
         dirty under this policy, so there is nothing to write back.
+
+        *set_ids*, when given, must be the precomputed
+        :meth:`set_indices_array` of *lines*, which must then already
+        be line-aligned — the bulk replay path hoists both the
+        alignment and the set hash out of this loop.
         """
+        if set_ids is None:
+            lines = [self.line_address(address) for address in lines]
+            set_ids = [self._set_index(line) for line in lines]
         forwarded: List[int] = []
-        line_shift = self._line_shift
+        append = forwarded.append
         sets = self._lines
         ways = self._ways
-        stats = self.stats
         use = self._use_counter
-        set_index = self._set_index
-        for position, address in enumerate(lines):
-            line = (address >> line_shift) << line_shift
-            entry_set = sets[set_index(line)]
+        read_hits = read_misses = write_hits = write_misses = evictions = 0
+        for position, line in enumerate(lines):
+            entry_set = sets[set_ids[position]]
             entry = entry_set.get(line)
             if writes[position]:
                 if entry is not None:
                     use += 1
                     entry[0] = use
-                    stats.write_hits += 1
+                    write_hits += 1
                 else:
-                    stats.write_misses += 1
-                forwarded.append(position)
+                    write_misses += 1
+                append(position)
                 continue
             if entry is not None:
                 use += 1
                 entry[0] = use
-                stats.read_hits += 1
+                read_hits += 1
                 continue
-            stats.read_misses += 1
+            read_misses += 1
             use += 1
             if len(entry_set) >= ways:
                 victim_line = min(entry_set, key=entry_set.__getitem__)
                 entry_set.pop(victim_line)
-                stats.evictions += 1
+                evictions += 1
             entry_set[line] = [use, False]
-            forwarded.append(position)
+            append(position)
         self._use_counter = use
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.read_misses += read_misses
+        stats.write_hits += write_hits
+        stats.write_misses += write_misses
+        stats.evictions += evictions
         return forwarded
 
     def warm_back_many(
-        self, lines: Sequence[int], writes: Sequence[bool]
+        self,
+        lines: Sequence[int],
+        writes: Sequence[bool],
+        set_ids: Optional[Sequence[int]] = None,
     ) -> Tuple[List[int], List[int]]:
         """Replay accesses under the LLC policy (write-back,
         write-allocate; full-line stores install dirty without a fetch).
@@ -321,18 +366,23 @@ class SetAssociativeCache:
         Returns ``(read_miss_positions, writeback_lines)``: the
         positions whose lines must be fetched from DRAM, and the dirty
         victim line addresses evicted along the way.
+
+        *set_ids* follows the same contract as in
+        :meth:`warm_through_many`: precomputed set indices for
+        already-aligned *lines*.
         """
-        read_misses: List[int] = []
+        if set_ids is None:
+            lines = [self.line_address(address) for address in lines]
+            set_ids = [self._set_index(line) for line in lines]
+        read_miss_positions: List[int] = []
         writebacks: List[int] = []
-        line_shift = self._line_shift
         sets = self._lines
         ways = self._ways
-        stats = self.stats
         use = self._use_counter
-        set_index = self._set_index
-        for position, address in enumerate(lines):
-            line = (address >> line_shift) << line_shift
-            entry_set = sets[set_index(line)]
+        read_hits = read_misses = write_hits = write_misses = 0
+        evictions = n_writebacks = 0
+        for position, line in enumerate(lines):
+            entry_set = sets[set_ids[position]]
             entry = entry_set.get(line)
             is_write = writes[position]
             if entry is not None:
@@ -340,26 +390,33 @@ class SetAssociativeCache:
                 entry[0] = use
                 if is_write:
                     entry[1] = True
-                    stats.write_hits += 1
+                    write_hits += 1
                 else:
-                    stats.read_hits += 1
+                    read_hits += 1
                 continue
             if is_write:
-                stats.write_misses += 1
+                write_misses += 1
             else:
-                stats.read_misses += 1
-                read_misses.append(position)
+                read_misses += 1
+                read_miss_positions.append(position)
             use += 1
             if len(entry_set) >= ways:
                 victim_line = min(entry_set, key=entry_set.__getitem__)
                 victim = entry_set.pop(victim_line)
-                stats.evictions += 1
+                evictions += 1
                 if victim[1]:
-                    stats.writebacks += 1
+                    n_writebacks += 1
                     writebacks.append(victim_line)
             entry_set[line] = [use, bool(is_write)]
         self._use_counter = use
-        return read_misses, writebacks
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.read_misses += read_misses
+        stats.write_hits += write_hits
+        stats.write_misses += write_misses
+        stats.evictions += evictions
+        stats.writebacks += n_writebacks
+        return read_miss_positions, writebacks
 
     def invalidate(self, address: int) -> bool:
         """Drop the line holding *address*; True if it was present."""

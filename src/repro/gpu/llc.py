@@ -126,7 +126,7 @@ class LLCSlice:
     # ------------------------------------------------------------------
     # Sampled-fidelity fast-forward
     # ------------------------------------------------------------------
-    def warm_many(self, lines, writes):
+    def warm_many(self, lines, writes, set_ids=None):
         """Functionally replay post-L1 accesses through this slice.
 
         The bulk no-engine path of the sampled-fidelity mode: tags,
@@ -137,7 +137,7 @@ class LLCSlice:
         dirty victim writebacks), for the caller to replay through the
         DRAM row state.
         """
-        return self.cache.warm_back_many(lines, writes)
+        return self.cache.warm_back_many(lines, writes, set_ids=set_ids)
 
     # ------------------------------------------------------------------
     # Statistics

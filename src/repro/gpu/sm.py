@@ -117,6 +117,19 @@ class SM:
     def warp_count(self) -> int:
         return sum(tb.n_warps for tb in self.active_tbs)
 
+    @property
+    def in_flight_ops(self) -> int:
+        """Memory ops issued by this SM's warps and not yet completed.
+
+        The sampled-fidelity trajectory sampler reads this as its
+        issue-pressure signal: a polling segment with nothing in
+        flight anywhere is ramp or drain, not steady state, and is
+        excluded from the rate-drift fit.
+        """
+        return sum(
+            warp.outstanding for tb in self.active_tbs for warp in tb.warps
+        )
+
     def can_accept(self, tb: TBContext) -> bool:
         """Whether this SM has resources for another TB (the window bound)."""
         return (
@@ -323,7 +336,7 @@ class SM:
     # ------------------------------------------------------------------
     # Sampled-fidelity fast-forward
     # ------------------------------------------------------------------
-    def warm_l1(self, lines, writes):
+    def warm_l1(self, lines, writes, set_ids=None):
         """Functionally replay a warp's op stream through this SM's L1.
 
         The L1-filter stage of the sampled-fidelity fast-forward: no
@@ -334,7 +347,7 @@ class SM:
         untouched: it counts detailed issues only, so sampled-mode
         rate measurement stays clean.
         """
-        return self.l1.warm_through_many(lines, writes)
+        return self.l1.warm_through_many(lines, writes, set_ids=set_ids)
 
     def __repr__(self) -> str:
         return (

@@ -89,17 +89,22 @@ class TBScheduler:
             self._kernel_loaded = False
             self._on_kernel_done()
 
-    def take_pending(self) -> List[TBContext]:
-        """Remove and return every not-yet-dispatched TB.
+    def take_pending(self, keep_last: int = 0) -> List[TBContext]:
+        """Remove and return the not-yet-dispatched TBs.
 
         The sampled-fidelity freeze path: the caller replays these TBs
-        functionally instead of letting them dispatch.  The kernel
-        still completes normally — its in-flight TBs retire through
-        the usual completion path, and the kernel-done callback fires
-        once they have (the emptied queue cannot re-dispatch).
+        functionally instead of letting them dispatch.  With
+        ``keep_last`` > 0 the final that-many TBs stay queued for
+        normal detailed dispatch (skip-middle freeze), so the kernel's
+        tail still runs through the SMs.  The kernel completes
+        normally either way — in-flight and kept TBs retire through
+        the usual completion path.
         """
-        pending = list(self._queue)
-        self._queue.clear()
+        keep_last = max(0, keep_last)
+        if keep_last >= len(self._queue):
+            return []
+        cut = len(self._queue) - keep_last
+        pending = [self._queue.popleft() for _ in range(cut)]
         return pending
 
     def _pick_sm(self, tb: TBContext) -> Optional[SM]:

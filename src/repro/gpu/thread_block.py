@@ -126,6 +126,31 @@ class WarpContext:
             self.writes[start:],
         )
 
+    def fast_forward_middle(self, keep_last: int) -> Tuple[list, list, list, list, list, list]:
+        """Skip remaining ops except the last *keep_last*, returning them.
+
+        The skip-middle freeze: the cursor jumps from ``op`` to
+        ``n_ops - keep_last`` and the skipped ops' pre-translated
+        fields come back as ``(lines, channels, banks, rows, slices,
+        writes)`` slices for functional replay.  The kept tail then
+        issues normally, so the end-of-kernel drain is simulated in
+        full detail.  Mid-flight cursor moves are safe for the same
+        reason as :meth:`fast_forward_rest`: the issue path re-reads
+        ``op`` on every event.  With ``keep_last`` at or above the
+        remaining count nothing is skipped.
+        """
+        start = self.op
+        end = max(start, self.n_ops - max(0, keep_last))
+        self.op = end
+        return (
+            self.lines[start:end],
+            self.channels[start:end],
+            self.banks[start:end],
+            self.rows[start:end],
+            self.slices[start:end],
+            self.writes[start:end],
+        )
+
     def __repr__(self) -> str:
         return (
             f"WarpContext(tb={self.tb.tb_id}, warp={self.warp_id}, "

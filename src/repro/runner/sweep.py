@@ -206,6 +206,14 @@ def plan_buckets(estimates: Sequence[float], n_buckets: int) -> List[List[int]]:
 class SweepRunner:
     """Runs batches of configs with caching and optional parallelism."""
 
+    # LJF gate: below this estimated total mass the grid is too light
+    # for longest-first packing to beat plain input-order submission
+    # (any packing of sub-second jobs finishes within estimate noise),
+    # so ``schedule="ljf"`` falls back to FIFO.  Cold caches estimate
+    # each config at roughly ``scale * n_sms`` seconds, so any grid
+    # with a handful of runs clears this comfortably.
+    _LJF_MIN_MASS_SECONDS = 2.0
+
     def __init__(
         self,
         workers: Optional[int] = None,
@@ -367,9 +375,15 @@ class SweepRunner:
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers
             )
-        if self.schedule == "fifo":
-            # A/B baseline: one future per config, submitted in input
-            # order — the pre-LJF behaviour.
+        if self.schedule == "fifo" or (
+            sum(estimates) < self._LJF_MIN_MASS_SECONDS
+        ):
+            # A/B baseline, and the small-grid gate: one future per
+            # config, submitted in input order (the pre-LJF
+            # behaviour).  Below the mass threshold the jobs are so
+            # short that longest-first packing can only reshuffle
+            # near-equal work — estimate noise then decides the order,
+            # which is strictly worse than submitting as given.
             buckets = [[i] for i in range(n)]
         else:
             # One job per future while grids are small (dynamic pulling

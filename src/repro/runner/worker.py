@@ -29,7 +29,8 @@ from ..core.entropy import (
 from ..core.schemes import MappingScheme
 from ..gpu.config import config_with_sms
 from ..registry import memory_config
-from ..sim.gpu_system import GPUSystem
+from ..sim.fidelity import AutoFidelity, Fidelity
+from ..sim.gpu_system import GPUSystem, plan_auto
 from ..sim.results import SimulationResult
 from ..specs import SchemeSpec, WorkloadSpec
 from ..workloads.base import Workload
@@ -60,6 +61,7 @@ class RunContext:
         self._schemes: Dict[
             Tuple[SchemeSpec, int, str, float, int], MappingScheme
         ] = {}
+        self._auto_plans: Dict[Tuple[WorkloadSpec, float, str, str], list] = {}
 
     # -- immutable hardware descriptions --------------------------------
     def address_map(self, memory: str) -> AddressMap:
@@ -135,6 +137,31 @@ class RunContext:
             )
         return self._schemes[key]
 
+    def auto_plan(
+        self,
+        benchmark: Union[str, WorkloadSpec],
+        scale: float,
+        fidelity: Fidelity,
+        memory: str,
+    ) -> list:
+        """The auto-fidelity kernel plan of one workload, memoized.
+
+        Fingerprinted against the memory technology's *base* address
+        map — never a scheme's — so the plan (which kernels run
+        detailed vs estimated) is identical for every scheme in a
+        sweep.  Estimation errors then hit every scheme's cycles the
+        same way and largely cancel in Figure-12-style speedup ratios,
+        and the warmed-state replay work is planned once per workload
+        instead of once per (workload, scheme) run.
+        """
+        spec = WorkloadSpec.from_value(benchmark)
+        key = (spec, scale, str(fidelity), memory)
+        if key not in self._auto_plans:
+            self._auto_plans[key] = plan_auto(
+                self.workload(spec, scale), fidelity, self.address_map(memory)
+            )
+        return self._auto_plans[key]
+
     # -- execution -------------------------------------------------------
     def execute(self, config: RunConfig) -> SimulationResult:
         """Build a fresh system and run *config* to completion."""
@@ -150,7 +177,14 @@ class RunContext:
             timing=memory.timing,
             dram_power_params=memory.power_params,
         )
-        return system.run(workload, fidelity=config.fidelity)
+        auto_plan = None
+        if isinstance(config.fidelity, AutoFidelity):
+            auto_plan = self.auto_plan(
+                config.benchmark, config.scale, config.fidelity, config.memory
+            )
+        return system.run(
+            workload, fidelity=config.fidelity, auto_plan=auto_plan
+        )
 
 
 # One context per process, created lazily.  ProcessPoolExecutor workers

@@ -25,20 +25,53 @@ The simulator exposes a **fidelity axis** (threaded from
     (pure dict/numpy work, no engine events, no simulated time),
     keeping microarchitectural state warm, while in-flight detailed
     requests drain normally.  The skipped ops are extrapolated with
-    the same kernel's measured rate (pooled across the run's windows
-    when a kernel has no measured traffic), and the per-phase
-    estimates are summed into the reported cycle count.  Kernels too
-    small to reach their threshold run to completion — tiny workloads
+    the same kernel's measured rate, corrected for row-hit drift (the
+    window's rate is fit against its row-miss trajectory and projected
+    onto the skipped traffic's replay-observed row-miss mix) and for
+    the post-freeze drain overlap (drained ops are real, so their
+    extrapolated share is netted against the real drain cycles) — see
+    :class:`~repro.sim.metrics.SampledAccounting`.  Kernels too small
+    to reach their threshold run to completion — tiny workloads
     degrade gracefully toward exact simulation.
+
+:class:`AutoFidelity` (``"auto"``)
+    Per-kernel plan derived from the workload's own structure — no
+    hand-tuned global triple.  Each kernel gets a three-level
+    fingerprint from one vectorized pass over its trace: its
+    structural group (op count, TB count, warp count), its footprint
+    *shape* (touched-bank count, hottest-bank load, unique row count
+    under the memory's base address decode — scheme-independent), and
+    its exact *content* (a hash of the sorted request-address
+    multiset).  The plan runs kernel 0 (the cold-state exemplar) in
+    full detail, measures warm kernels until each shape class has its
+    exemplar quota (one exemplar for kernels of at least
+    ``big_kernel_ops`` ops, whose steady phases dominate;
+    ``exemplars`` for smaller, noisier kernels), and every later
+    repeat is **replayed functionally** through the warmed L1/LLC/row
+    state and estimated from the finest measured tier — an exact
+    content twin when one was measured, else its shape class's mean.
+    Measured kernels at least ``min_freeze_ops`` ops long are
+    additionally skip-middle frozen at ``freeze_frac`` of their
+    completions (keeping a detailed per-warp tail), with the middle
+    extrapolated through the drift-corrected accounting.  The plan is
+    a pure function of the workload (never of the mapping scheme), so
+    an auto run of a scheme grid samples every scheme at the *same*
+    per-kernel cut points and the fig12 speedup ratios see correlated
+    — largely cancelling — estimation errors.
 
 Serialized form (the shape carried by ``RunConfig.to_dict`` and hashed
 into cache keys): the string ``"exact"``, or::
 
     {"kind": "sampled", "warmup": 1, "window": 1, "period": 16}
+    {"kind": "auto", "exemplars": 2, "big_kernel_ops": 2048,
+     "min_freeze_ops": 4096, "warmup_frac": 0.2, "freeze_frac": 0.5,
+     "tail_frac": 0.3}
 
 ``"exact"`` configs *omit* the fidelity key entirely from their
 serialized dict, so built-in cache keys are byte-identical to the
-pre-fidelity format and warm caches stay warm.
+pre-fidelity format and warm caches stay warm.  The three kinds are
+serialized distinctly (``"exact"`` / ``kind="sampled"`` /
+``kind="auto"``), so their cache keys can never collide.
 """
 
 from __future__ import annotations
@@ -48,7 +81,9 @@ from typing import Dict, Optional, Union
 
 __all__ = [
     "EXACT",
+    "AUTO",
     "SampledFidelity",
+    "AutoFidelity",
     "Fidelity",
     "parse_fidelity",
     "fidelity_to_json",
@@ -120,6 +155,7 @@ class SampledFidelity:
         body = text.strip()
         if body.lower().startswith("sampled"):
             body = body[len("sampled"):]
+        had_params = bool(body)
         body = body.lstrip(":")
         kwargs: Dict[str, int] = {}
         for part in body.split(","):
@@ -140,6 +176,11 @@ class SampledFidelity:
                     f"sampled-fidelity parameter {key} must be an integer, "
                     f"got {value.strip()!r}"
                 ) from None
+        if had_params and not kwargs:
+            raise ValueError(
+                f"bad sampled-fidelity string {text!r}: expected parameters "
+                f"after ':' (warmup=/window=/period=)"
+            )
         return cls(**kwargs)
 
     def __str__(self) -> str:
@@ -149,22 +190,182 @@ class SampledFidelity:
         )
 
 
-Fidelity = Union[str, SampledFidelity]
+# AutoFidelity defaults.  ``exemplars`` is the per-shape-class quota
+# of measured warm occurrences for *small* kernels, whose warm repeats
+# are noisy enough that one sample misleads; kernels of at least
+# ``big_kernel_ops`` ops need only one shape exemplar (their steady
+# phases dominate, so warm repeats agree to a couple of percent).
+# Kernel 0 is always measured on top, as the cold-state exemplar — its
+# cycles are *not* transferred to warm siblings, where cold caches can
+# swing per-kernel time by tens of percent in either direction.
+# ``min_freeze_ops`` keeps the in-kernel freeze away from kernels
+# short enough that the fill ramp plus tail would dominate the
+# extrapolated share.  The freeze skips the *middle* of the kernel:
+# the window closes at ``freeze_frac`` of completions and the last
+# ``tail_frac`` share of every warp's ops runs detailed, so the
+# end-of-kernel parallelism decay and pipeline drain — which no
+# stationary rate predicts — are simulated rather than extrapolated.
+DEFAULT_EXEMPLARS = 2
+DEFAULT_BIG_KERNEL_OPS = 2048
+DEFAULT_MIN_FREEZE_OPS = 4096
+DEFAULT_WARMUP_FRAC = 0.2
+DEFAULT_FREEZE_FRAC = 0.5
+DEFAULT_TAIL_FRAC = 0.3
+
+
+@dataclass(frozen=True)
+class AutoFidelity:
+    """Per-kernel automatic fidelity plan (see the module docstring).
+
+    Warm kernels are measured until their shape class fills its
+    exemplar quota — one measurement for kernels of at least
+    ``big_kernel_ops`` ops, ``exemplars`` for smaller ones — and later
+    repeats are replayed functionally and estimated from the finest
+    measured tier (exact content twin, else shape-class mean).
+    Measured kernels with at least ``min_freeze_ops`` ops freeze at
+    ``freeze_frac`` of completions (the measured window opens at
+    ``warmup_frac``); the freeze skips the steady middle of each
+    warp's stream and keeps roughly a ``tail_frac`` op share to run
+    detailed at the end.
+    """
+
+    exemplars: int = DEFAULT_EXEMPLARS
+    big_kernel_ops: int = DEFAULT_BIG_KERNEL_OPS
+    min_freeze_ops: int = DEFAULT_MIN_FREEZE_OPS
+    warmup_frac: float = DEFAULT_WARMUP_FRAC
+    freeze_frac: float = DEFAULT_FREEZE_FRAC
+    tail_frac: float = DEFAULT_TAIL_FRAC
+
+    def __post_init__(self) -> None:
+        if self.exemplars < 1:
+            raise ValueError(f"exemplars must be >= 1, got {self.exemplars}")
+        if self.big_kernel_ops < 1:
+            raise ValueError(
+                f"big_kernel_ops must be >= 1, got {self.big_kernel_ops}"
+            )
+        if self.min_freeze_ops < 1:
+            raise ValueError(
+                f"min_freeze_ops must be >= 1, got {self.min_freeze_ops}"
+            )
+        if not 0.0 <= self.warmup_frac < self.freeze_frac <= 0.95:
+            raise ValueError(
+                f"need 0 <= warmup_frac < freeze_frac <= 0.95, got "
+                f"warmup_frac={self.warmup_frac}, "
+                f"freeze_frac={self.freeze_frac}"
+            )
+        if not 0.0 <= self.tail_frac <= 1.0 - self.freeze_frac:
+            raise ValueError(
+                f"need 0 <= tail_frac <= 1 - freeze_frac, got "
+                f"tail_frac={self.tail_frac}, "
+                f"freeze_frac={self.freeze_frac}"
+            )
+
+    @property
+    def keep_share(self) -> float:
+        """Share of each warp's *remaining* ops the freeze keeps detailed."""
+        return self.tail_frac / (1.0 - self.freeze_frac)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": "auto",
+            "exemplars": self.exemplars,
+            "big_kernel_ops": self.big_kernel_ops,
+            "min_freeze_ops": self.min_freeze_ops,
+            "warmup_frac": self.warmup_frac,
+            "freeze_frac": self.freeze_frac,
+            "tail_frac": self.tail_frac,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AutoFidelity":
+        if data.get("kind") != "auto":
+            raise ValueError(
+                f"not an auto-fidelity dict: kind={data.get('kind')!r}"
+            )
+        return cls(
+            exemplars=int(data.get("exemplars", DEFAULT_EXEMPLARS)),
+            big_kernel_ops=int(
+                data.get("big_kernel_ops", DEFAULT_BIG_KERNEL_OPS)
+            ),
+            min_freeze_ops=int(
+                data.get("min_freeze_ops", DEFAULT_MIN_FREEZE_OPS)
+            ),
+            warmup_frac=float(data.get("warmup_frac", DEFAULT_WARMUP_FRAC)),
+            freeze_frac=float(data.get("freeze_frac", DEFAULT_FREEZE_FRAC)),
+            tail_frac=float(data.get("tail_frac", DEFAULT_TAIL_FRAC)),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "AutoFidelity":
+        """Parse the CLI form ``auto[:exemplars=N,min_freeze_ops=N,...]``."""
+        body = text.strip()
+        if body.lower().startswith("auto"):
+            body = body[len("auto"):]
+        had_params = bool(body)
+        body = body.lstrip(":")
+        int_keys = ("exemplars", "big_kernel_ops", "min_freeze_ops")
+        float_keys = ("warmup_frac", "freeze_frac", "tail_frac")
+        kwargs: Dict[str, object] = {}
+        for part in body.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in int_keys + float_keys:
+                raise ValueError(
+                    f"bad auto-fidelity parameter {part!r} (expected "
+                    f"exemplars=/big_kernel_ops=/min_freeze_ops=/"
+                    f"warmup_frac=/freeze_frac=/tail_frac=)"
+                )
+            try:
+                kwargs[key] = (
+                    int(value.strip()) if key in int_keys
+                    else float(value.strip())
+                )
+            except ValueError:
+                raise ValueError(
+                    f"auto-fidelity parameter {key} must be numeric, "
+                    f"got {value.strip()!r}"
+                ) from None
+        if had_params and not kwargs:
+            raise ValueError(
+                f"bad auto-fidelity string {text!r}: expected parameters "
+                f"after ':' (exemplars=/big_kernel_ops=/...)"
+            )
+        return cls(**kwargs)
+
+    def __str__(self) -> str:
+        return (
+            f"auto:exemplars={self.exemplars},"
+            f"big_kernel_ops={self.big_kernel_ops},"
+            f"min_freeze_ops={self.min_freeze_ops},"
+            f"warmup_frac={self.warmup_frac},"
+            f"freeze_frac={self.freeze_frac},"
+            f"tail_frac={self.tail_frac}"
+        )
+
+
+AUTO = AutoFidelity()
+
+Fidelity = Union[str, SampledFidelity, AutoFidelity]
 
 
 def parse_fidelity(value: Optional[object]) -> Fidelity:
     """Normalize any accepted fidelity form.
 
     Accepts ``None`` / ``"exact"`` (-> :data:`EXACT`), a
-    :class:`SampledFidelity`, the CLI string form
-    ``sampled[:warmup=..,window=..,period=..]``, or the serialized
-    dict form.
+    :class:`SampledFidelity` or :class:`AutoFidelity`, the CLI string
+    forms ``sampled[:warmup=..,window=..,period=..]`` and
+    ``auto[:exemplars=..,...]``, or the serialized dict forms.
     """
     if value is None:
         return EXACT
-    if isinstance(value, SampledFidelity):
+    if isinstance(value, (SampledFidelity, AutoFidelity)):
         return value
     if isinstance(value, dict):
+        if value.get("kind") == "auto":
+            return AutoFidelity.from_json(value)
         return SampledFidelity.from_json(value)
     if isinstance(value, str):
         text = value.strip().lower()
@@ -172,20 +373,23 @@ def parse_fidelity(value: Optional[object]) -> Fidelity:
             return EXACT
         if text.startswith("sampled"):
             return SampledFidelity.parse(value.strip())
+        if text.startswith("auto"):
+            return AutoFidelity.parse(value.strip())
         raise ValueError(
-            f"unknown fidelity {value!r} (expected 'exact' or "
-            f"'sampled[:warmup=W,window=D,period=P]')"
+            f"unknown fidelity {value!r} (expected 'exact', "
+            f"'sampled[:warmup=W,window=D,period=P]' or "
+            f"'auto[:exemplars=N,...]')"
         )
     raise TypeError(
-        f"fidelity must be a string, dict or SampledFidelity, got "
-        f"{type(value).__name__}"
+        f"fidelity must be a string, dict, SampledFidelity or "
+        f"AutoFidelity, got {type(value).__name__}"
     )
 
 
 def fidelity_to_json(fidelity: Fidelity) -> Union[str, Dict[str, object]]:
-    """The JSON-safe form: ``"exact"`` or the sampled parameter dict."""
+    """The JSON-safe form: ``"exact"`` or the parameter dict."""
     if fidelity == EXACT:
         return EXACT
-    if isinstance(fidelity, SampledFidelity):
+    if isinstance(fidelity, (SampledFidelity, AutoFidelity)):
         return fidelity.to_json()
     raise TypeError(f"not a normalized fidelity: {fidelity!r}")

@@ -30,6 +30,8 @@ the DRAM power breakdown (16) and system power (11/17).
 
 from __future__ import annotations
 
+import hashlib
+import math
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -50,15 +52,157 @@ from ..gpu.tb_scheduler import TBScheduler
 from ..gpu.thread_block import TBContext, WarpContext
 from ..workloads.base import WarpTrace, Workload
 from .engine import Engine
-from .fidelity import EXACT, Fidelity, SampledFidelity, fidelity_to_json, parse_fidelity
+from .fidelity import (
+    EXACT,
+    AutoFidelity,
+    Fidelity,
+    SampledFidelity,
+    fidelity_to_json,
+    parse_fidelity,
+)
 from .metrics import OutstandingTracker, SampledAccounting, combined_parallelism
 from .results import SimulationResult
 
-__all__ = ["GPUSystem", "simulate"]
+__all__ = ["GPUSystem", "plan_auto", "simulate"]
 
 # Sentinel tagging fire-and-forget writeback completions; the payload
 # is the tuple ``(_WRITEBACK, channel)`` so completion needs no decode.
 _WRITEBACK = object()
+
+
+def _kernel_fingerprint(kernel, address_map: Optional[AddressMap]):
+    """Three-level identity of one kernel's memory traffic.
+
+    Returns ``(ops, content_key, shape_key)``:
+
+    * the structural group ``(ops, n_tbs, n_warps)`` — embedded in
+      both keys, so transfer never crosses grid shapes,
+    * ``content_key`` — the group plus a hash of the sorted request
+      address multiset: two kernels share it iff they touch exactly
+      the same addresses the same number of times, so *every* address
+      decode (cache line, LLC slice, bank, row) agrees between them,
+    * ``shape_key`` — the group plus coarse footprint statistics
+      under the memory's base address decode (touched-bank count,
+      hottest-bank request load, unique bank/row count), each
+      geometrically bucketed: kernels whose statistics agree within
+      ~1.5x land in the same class (a transposed matrix pass touching
+      2x the banks does not), so near-identical access patterns
+      transfer while genuinely different ones stay measured.  The
+      decode uses the *raw* trace addresses, which is exactly the
+      BASE mapping — a pure function of the workload and memory
+      geometry, never of the scheme under test.
+    """
+    ops = sum(len(warp) for tb in kernel.tbs for warp in tb.warps)
+    group = (ops, len(kernel.tbs), sum(len(tb.warps) for tb in kernel.tbs))
+    arrays = [
+        np.asarray(warp.addresses, dtype=np.uint64)
+        for tb in kernel.tbs for warp in tb.warps if len(warp)
+    ]
+    if not arrays:
+        return ops, (group, "empty"), (group,)
+    addrs = np.sort(np.concatenate(arrays))
+    digest = hashlib.blake2b(addrs.tobytes(), digest_size=16).hexdigest()
+    content_key = (group, digest)
+    if address_map is None:
+        return ops, content_key, (group,)
+    fields = decode_fields(address_map, addrs)
+    if "channel" in address_map:
+        channels = fields["channel"]
+    else:
+        vaults = address_map.field("vault").size
+        channels = fields["stack"] * vaults + fields["vault"]
+    banks_per = address_map.field("bank").size
+    gbank = channels.astype(np.int64) * banks_per + fields["bank"].astype(np.int64)
+    counts = np.bincount(gbank)
+    bankrow = (gbank << np.int64(32)) | fields["row"].astype(np.int64)
+
+    def bucket(value: int) -> int:
+        # Geometric bucketing (base 1.5): statistics within ~1.5x of
+        # each other collapse to one class.
+        return round(math.log(max(1, value)) / math.log(1.5))
+
+    shape_key = (
+        group,
+        bucket(int((counts > 0).sum())),
+        bucket(int(counts.max())),
+        bucket(int(np.unique(bankrow).size)),
+    )
+    return ops, content_key, shape_key
+
+
+def plan_auto(
+    workload: Workload,
+    fidelity: AutoFidelity,
+    address_map: Optional[AddressMap] = None,
+):
+    """Per-kernel sampling plan for auto fidelity.
+
+    Returns one ``(mode, source, keys, ops, freeze_ok)`` entry per
+    kernel, in execution order.  ``keys`` is the kernel's fingerprint
+    pair ``(("content", ...), ("shape", ...))`` (see
+    :func:`_kernel_fingerprint`); ``mode`` is one of:
+
+    * ``"cold"`` — kernel 0: measured in full detail but never used to
+      estimate siblings (cold caches and empty row buffers make its
+      cycles unrepresentative of warm repeats, in either direction),
+    * ``"measure"`` — a warm kernel whose shape class has not yet
+      filled its exemplar quota: measured, and its boundary cycles
+      feed both its content class and its shape class,
+    * ``"estimate"`` — a later repeat: replayed functionally through
+      the already-warm hierarchy state and assigned the mean of the
+      measured cycles of ``source`` — its exact content class when
+      that has a measured member (an address-identical twin), else
+      its shape class (same grid, same footprint statistics).
+
+    The quota is 1 for kernels of at least ``fidelity.big_kernel_ops``
+    ops (their steady phases dominate, so one warm exemplar is
+    representative) and ``fidelity.exemplars`` for smaller kernels,
+    whose warm-repeat noise a single sample would mistake for signal.
+
+    ``freeze_ok`` gates the in-kernel skip-middle freeze: a measured
+    kernel whose classes seed later estimates must run unfrozen,
+    because its boundary cycles are multiplied across every sibling it
+    estimates — a freeze-extrapolation bias of a percent or two is
+    acceptable on one kernel but not amplified three-fold, and the
+    bias direction varies by mapping scheme, so the amplified copies
+    break the figure-12 ratio cancellation.  Cold kernel 0 (whose
+    cycles are never transferred) and measured kernels no estimate
+    draws on keep the freeze.
+
+    The plan is a pure function of the workload and the memory's base
+    address geometry — never of the mapping scheme — so every scheme
+    samples the same kernels at the same cut points.  The paper's
+    figure-12 metric is the per-benchmark cycle *ratio* against BASE:
+    keeping the cut points identical across schemes keeps per-cell
+    estimation errors correlated, and correlated errors cancel in the
+    ratio.
+    """
+    shape_measured: Dict[tuple, int] = {}
+    content_measured = set()
+    draft = []
+    for index, kernel in enumerate(workload.kernels):
+        ops, content, shape = _kernel_fingerprint(kernel, address_map)
+        keys = (("content", content), ("shape", shape))
+        if index == 0:
+            draft.append(("cold", None, keys, ops))
+            continue
+        quota = 1 if ops >= fidelity.big_kernel_ops else fidelity.exemplars
+        if content in content_measured:
+            draft.append(("estimate", ("content", content), keys, ops))
+        elif shape_measured.get(shape, 0) >= quota:
+            draft.append(("estimate", ("shape", shape), keys, ops))
+        else:
+            content_measured.add(content)
+            shape_measured[shape] = shape_measured.get(shape, 0) + 1
+            draft.append(("measure", None, keys, ops))
+    sources = {source for mode, source, _, _ in draft if mode == "estimate"}
+    plan = []
+    for mode, source, keys, ops in draft:
+        freeze_ok = mode == "cold" or (
+            mode == "measure" and not any(key in sources for key in keys)
+        )
+        plan.append((mode, source, keys, ops, freeze_ok))
+    return plan
 
 
 class GPUSystem:
@@ -359,6 +503,7 @@ class GPUSystem:
         workload: Workload,
         max_events: Optional[int] = None,
         fidelity: Fidelity = EXACT,
+        auto_plan=None,
     ) -> SimulationResult:
         """Simulate *workload* to completion and collect all metrics.
 
@@ -367,11 +512,20 @@ class GPUSystem:
         every cycle on the event engine and is byte-identical to the
         pre-fidelity simulator; a :class:`SampledFidelity` alternates
         detailed sample windows with vectorized functional
-        fast-forward phases and extrapolates the skipped cycles.
+        fast-forward phases and extrapolates the skipped cycles; an
+        :class:`AutoFidelity` derives a per-kernel plan from the
+        workload's structure (see :func:`plan_auto`).
+
+        *auto_plan* optionally supplies a precomputed
+        :func:`plan_auto` result (the plan is scheme-independent, so a
+        sweep computes it once per workload and shares it across every
+        scheme's run).  Ignored unless *fidelity* is auto.
         """
         if self._finished or self.scheduler.tbs_dispatched:
             raise RuntimeError("GPUSystem instances are single-use; build a new one")
         fidelity = parse_fidelity(fidelity)
+        if isinstance(fidelity, AutoFidelity):
+            return self._run_auto(workload, fidelity, max_events, plan=auto_plan)
         if isinstance(fidelity, SampledFidelity):
             return self._run_sampled(workload, fidelity, max_events)
         kernels = []
@@ -468,30 +622,52 @@ class GPUSystem:
             cycles_start = engine.now
             completed_start = self._requests_completed()
             window_start = None
+            seg_mark = None
+            segments = []
             self.scheduler.load_kernel(contexts)
             while True:
                 engine.run(until=engine.now + poll, max_events=remaining_events())
                 done = self.scheduler.idle and engine.idle
                 completed = self._requests_completed() - completed_start
-                if window_start is None and (done or completed >= warmup_target):
-                    window_start = (engine.now, completed)
+                if window_start is None:
+                    if done or completed >= warmup_target:
+                        window_start = (engine.now, completed)
+                        seg_mark = (
+                            engine.now, completed, *self._dram_row_state()
+                        )
+                else:
+                    seg_mark = self._sample_segment(
+                        segments, seg_mark, completed
+                    )
                 if done or completed >= detailed_target:
                     break
             if not self.scheduler.idle:
-                # Freeze: measure the window, fast-forward the rest of
-                # the kernel, and let the in-flight requests drain.
+                # Freeze: measure the window (with its trajectory),
+                # fast-forward the rest of the kernel, and let the
+                # in-flight requests drain — the drain is recorded so
+                # its real cycles are netted out of the extrapolation
+                # (frozen work and the drain would have overlapped).
                 accounting.record_window(
                     engine.now - window_start[0],
                     completed - window_start[1],
+                    segments,
                 )
-                skipped, noc_flits = self._freeze_kernel()
-                accounting.record_fast_forward(skipped, noc_flits)
+                skipped, noc_flits, miss_frac = self._freeze_with_miss_frac()
+                accounting.record_fast_forward(
+                    skipped, noc_flits, miss_frac=miss_frac
+                )
+                drain_from = engine.now
+                drained_from = self._requests_completed()
                 engine.run(max_events=remaining_events())
                 if not self.scheduler.idle or not engine.idle:
                     raise RuntimeError(
                         "sampled kernel failed to drain after its freeze "
                         f"({self.scheduler.in_flight} TBs in flight)"
                     )
+                accounting.record_drain(
+                    engine.now - drain_from,
+                    self._requests_completed() - drained_from,
+                )
             else:
                 # The kernel finished inside its detailed share:
                 # everything is real, nothing to extrapolate.
@@ -499,8 +675,260 @@ class GPUSystem:
         self._finished = True
         return self._collect(workload, sampled=(fidelity, accounting))
 
+    # ------------------------------------------------------------------
+    # Auto fidelity: structure-planned measurement + kernel transfer
+    # ------------------------------------------------------------------
+    def _run_auto(
+        self,
+        workload: Workload,
+        fidelity: AutoFidelity,
+        max_events: Optional[int] = None,
+        plan=None,
+    ) -> SimulationResult:
+        """Auto-planned sampled run (``--fidelity auto``).
+
+        :func:`plan_auto` classifies each kernel from the workload's
+        structure and footprint fingerprints alone.  Measured kernels
+        run in detail — large ones (>= ``min_freeze_ops`` ops)
+        additionally open a measurement window at ``warmup_frac`` of
+        completions and skip-middle freeze at ``freeze_frac``: the
+        steady middle is extrapolated at the drift-corrected window
+        rate while a per-warp detailed tail simulates the
+        end-of-kernel decay and drain for real.  Estimated kernels are
+        repeats of an already-measured class: their traffic is
+        replayed functionally through the warm L1/LLC/row state their
+        siblings built (warmed-state reuse — the fixed per-kernel ramp
+        cost is paid once per class, not once per kernel) and their
+        cycles are the mean of the plan-chosen source class's measured
+        warm boundaries (exact content twin when one was measured,
+        else the shape class).
+
+        Kernel boundaries are taken at the TB-retire poll, not at full
+        event drain, so trailing writebacks overlap the next kernel's
+        ramp just as they do in exact mode.
+        """
+        accounting = SampledAccounting()
+        engine = self.engine
+        if plan is None:
+            plan = plan_auto(workload, fidelity, self.address_map)
+        if len(plan) != len(workload.kernels):
+            raise ValueError(
+                f"auto-fidelity plan has {len(plan)} entries for a workload "
+                f"with {len(workload.kernels)} kernels"
+            )
+
+        def remaining_events() -> Optional[int]:
+            if max_events is None:
+                return None
+            return max(0, max_events - engine.events_processed)
+
+        class_cycles: Dict[tuple, List[float]] = {}
+        class_flit_rates: Dict[tuple, List[float]] = {}
+        # Warmed state flows forward only: an estimated kernel after
+        # the last detailed one has no downstream consumer for the
+        # cache/row state its replay would build, so the replay (and
+        # even the trace preparation) is skipped outright and its NoC
+        # flits are estimated from the class's flits-per-op instead.
+        last_detailed = max(
+            (i for i, entry in enumerate(plan) if entry[0] != "estimate"),
+            default=-1,
+        )
+        for kernel_index, kernel in enumerate(workload.kernels):
+            mode, source, keys, kernel_ops, freeze_ok = plan[kernel_index]
+            exemplars = class_cycles.get(source) if mode == "estimate" else None
+            if exemplars:
+                mean_cycles = sum(exemplars) / len(exemplars)
+                if kernel_index > last_detailed:
+                    rates = class_flit_rates.get(source)
+                    rate = sum(rates) / len(rates) if rates else 0.0
+                    accounting.record_estimated_kernel(
+                        kernel_ops, mean_cycles,
+                        noc_flits=int(round(rate * kernel_ops)),
+                    )
+                    continue
+                prepare = self._prepare_kernel(kernel)
+                contexts = [TBContext(tb, kernel_index, prepare) for tb in kernel.tbs]
+                skipped, flits = self._replay_contexts(contexts)
+                accounting.record_estimated_kernel(
+                    skipped, mean_cycles, noc_flits=flits
+                )
+                if kernel_ops:
+                    for key in keys:
+                        class_flit_rates.setdefault(key, []).append(
+                            flits / kernel_ops
+                        )
+                continue
+            prepare = self._prepare_kernel(kernel)
+            contexts = [TBContext(tb, kernel_index, prepare) for tb in kernel.tbs]
+            flits_before = (
+                self.request_noc.stats.flits + self.response_noc.stats.flits
+                + accounting.ff_noc_flits
+            )
+            kernel_cycles = self._run_kernel_measured(
+                contexts, kernel_ops, fidelity, accounting, remaining_events,
+                freeze_ok=freeze_ok,
+            )
+            kernel_flits = (
+                self.request_noc.stats.flits + self.response_noc.stats.flits
+                + accounting.ff_noc_flits - flits_before
+            )
+            if mode != "cold":
+                for key in keys:
+                    class_cycles.setdefault(key, []).append(kernel_cycles)
+                    if kernel_ops:
+                        class_flit_rates.setdefault(key, []).append(
+                            kernel_flits / kernel_ops
+                        )
+        engine.run(max_events=remaining_events())
+        if not self.scheduler.idle or not engine.idle:
+            raise RuntimeError(
+                "auto-fidelity run failed to drain its trailing events "
+                f"({self.scheduler.in_flight} TBs in flight)"
+            )
+        self._finished = True
+        return self._collect(workload, sampled=(fidelity, accounting))
+
+    def _run_kernel_measured(
+        self, contexts, kernel_ops, fidelity, accounting, remaining_events,
+        freeze_ok=True,
+    ) -> float:
+        """Run one kernel in detail (frozen if large); return its cycles.
+
+        Large kernels (>= ``min_freeze_ops`` ops) use the skip-middle
+        freeze: a measurement window opens at ``warmup_frac`` of
+        completions and closes at ``freeze_frac``, at which point the
+        steady *middle* of every warp's remaining stream is replayed
+        functionally while each warp keeps a detailed tail
+        (``keep_share`` of its remainder).  The tail then runs on the
+        engine, so the end-of-kernel parallelism decay and pipeline
+        drain — whose cycles-per-request bear no fixed relation to the
+        steady-state window rate — are simulated, and only the
+        regime-matched middle is extrapolated at the window's
+        (drift-corrected) rate.
+
+        The returned boundary cycles include the kernel's extrapolated
+        share when it froze.  *freeze_ok* comes from the plan: kernels
+        whose cycles seed sibling estimates run unfrozen so the
+        transferred value carries no extrapolation bias.  Small
+        kernels never freeze either way: a kernel with fewer ops than
+        the machine's in-flight capacity has no steady state to
+        measure, so it runs exactly.
+        """
+        engine = self.engine
+        poll = self._SAMPLE_POLL_CYCLES
+        kernel_start = engine.now
+        completed_start = self._requests_completed()
+        ext_before = accounting.extrapolated_cycles()
+        freeze_target = None
+        warmup_target = 0
+        if freeze_ok and kernel_ops >= fidelity.min_freeze_ops:
+            freeze_target = max(1, int(kernel_ops * fidelity.freeze_frac))
+            warmup_target = int(kernel_ops * fidelity.warmup_frac)
+        self.scheduler.load_kernel(contexts)
+        window_start = None
+        seg_mark = None
+        segments = []
+        frozen = False
+        completed = 0
+        while True:
+            engine.run(until=engine.now + poll, max_events=remaining_events())
+            completed = self._requests_completed() - completed_start
+            if self.scheduler.idle:
+                break
+            budget = remaining_events()
+            if budget is not None and budget == 0:
+                raise RuntimeError(
+                    "auto-fidelity kernel exhausted max_events before "
+                    f"completing ({self.scheduler.in_flight} TBs in flight)"
+                )
+            if freeze_target is None or frozen:
+                continue
+            if window_start is None:
+                if completed >= warmup_target:
+                    window_start = (engine.now, completed)
+                    seg_mark = (engine.now, completed, *self._dram_row_state())
+                continue
+            seg_mark = self._sample_segment(segments, seg_mark, completed)
+            if (
+                completed >= freeze_target
+                and completed > window_start[1]
+                and engine.now > window_start[0]
+            ):
+                accounting.record_window(
+                    engine.now - window_start[0],
+                    completed - window_start[1],
+                    segments,
+                )
+                skipped, flits, miss_frac = self._freeze_with_miss_frac(
+                    fidelity.keep_share
+                )
+                accounting.record_fast_forward(
+                    skipped, flits, miss_frac=miss_frac
+                )
+                frozen = True
+        if not frozen:
+            accounting.record_window(engine.now - kernel_start, completed)
+        extrapolated = accounting.extrapolated_cycles() - ext_before
+        return (engine.now - kernel_start) + extrapolated
+
+    # ------------------------------------------------------------------
+    # Shared sampled-mode telemetry
+    # ------------------------------------------------------------------
     def _requests_completed(self) -> int:
         return sum(sm.ops_completed for sm in self.sms)
+
+    def _dram_row_state(self):
+        """Cumulative (row_hits, accesses) across all controllers."""
+        hits = accesses = 0
+        for controller in self.dram.controllers:
+            hits += controller.row_hits
+            accesses += controller.accesses
+        return hits, accesses
+
+    def _system_in_flight(self) -> int:
+        """Memory ops issued and not yet completed, machine-wide."""
+        return sum(sm.in_flight_ops for sm in self.sms)
+
+    def _sample_segment(self, segments, seg_mark, completed):
+        """Append one trajectory segment since *seg_mark*; return new mark.
+
+        Segments feed :meth:`SampledAccounting.record_window`'s drift
+        fit: per-poll deltas of (cycles, completed requests, row hits,
+        row accesses) plus the instantaneous in-flight population (the
+        issue-pressure gate excluding ramp/drain segments).
+        """
+        hits, accesses = self._dram_row_state()
+        now = self.engine.now
+        d_cycles = now - seg_mark[0]
+        if d_cycles > 0:
+            segments.append((
+                d_cycles,
+                completed - seg_mark[1],
+                hits - seg_mark[2],
+                accesses - seg_mark[3],
+                self._system_in_flight(),
+            ))
+        return (now, completed, hits, accesses)
+
+    def _freeze_with_miss_frac(self, keep_share: float = 0.0):
+        """Freeze the current kernel, observing the replay's row-miss mix.
+
+        Returns ``(skipped_ops, noc_flits, miss_frac)`` where
+        *miss_frac* is the row-miss fraction of the DRAM traffic the
+        replay pushed through the bank state machines (None when the
+        replay generated no DRAM accesses) — the projection target of
+        the accounting's drift correction.  *keep_share* is forwarded
+        to :meth:`_freeze_kernel` (skip-middle freeze).
+        """
+        hits_before, accesses_before = self._dram_row_state()
+        skipped, flits = self._freeze_kernel(keep_share)
+        hits_after, accesses_after = self._dram_row_state()
+        replayed = accesses_after - accesses_before
+        if replayed > 0:
+            miss_frac = 1.0 - (hits_after - hits_before) / replayed
+        else:
+            miss_frac = None
+        return skipped, flits, miss_frac
 
     def _active_warps(self) -> List[WarpContext]:
         """In-flight warps with un-issued ops, in SM/TB/warp order."""
@@ -512,16 +940,22 @@ class GPUSystem:
             if not warp.issued_all
         ]
 
-    def _freeze_kernel(self):
-        """Fast-forward everything left of the current kernel.
+    def _freeze_kernel(self, keep_share: float = 0.0):
+        """Fast-forward the current kernel's skippable remainder.
 
         Two populations are skipped: the in-flight warps' remaining
-        ops (their cursors jump to the end; pending engine events
-        resolve through the issue path's cursor guards), and the TBs
-        still queued for dispatch (replayed wholesale, in
+        ops (their cursors jump forward; pending engine events resolve
+        through the issue path's cursor guards), and the TBs still
+        queued for dispatch (replayed wholesale, in
         dispatch-window-sized groups so only TBs that would plausibly
-        co-execute are interleaved).  Returns ``(ops_skipped,
-        estimated_noc_flits)``.
+        co-execute are interleaved).
+
+        With ``keep_share`` > 0 (the skip-middle freeze) each in-flight
+        warp keeps that share of its remaining ops — at least one — as
+        a detailed tail, and the same share of the queued TBs stays
+        queued: only the steady *middle* of the kernel is skipped, so
+        the end-of-kernel parallelism decay and drain run for real.
+        Returns ``(ops_skipped, estimated_noc_flits)``.
         """
         total_skipped = 0
         total_flits = 0
@@ -533,7 +967,12 @@ class GPUSystem:
         # LLC/DRAM traffic.
         streams = []
         for warp in self._active_warps():
-            chunk = warp.fast_forward_rest()
+            if keep_share > 0.0:
+                remaining = warp.n_ops - warp.op
+                keep = max(1, int(remaining * keep_share))
+                chunk = warp.fast_forward_middle(keep)
+            else:
+                chunk = warp.fast_forward_rest()
             if chunk[0]:
                 streams.append((warp.tb.sm_id, chunk))
         if streams:
@@ -542,12 +981,34 @@ class GPUSystem:
             total_flits += flits
         # Later groups: queued TBs in dispatch order, one machine
         # window at a time, spread round-robin across the SM L1s.
-        pending = self.scheduler.take_pending()
+        keep_tbs = 0
+        if keep_share > 0.0:
+            keep_tbs = int(round(self.scheduler.pending * keep_share))
+        skipped, flits = self._replay_contexts(
+            self.scheduler.take_pending(keep_last=keep_tbs)
+        )
+        total_skipped += skipped
+        total_flits += flits
+        return total_skipped, total_flits
+
+    def _replay_contexts(self, contexts):
+        """Functionally replay whole TBs (never dispatched) in waves.
+
+        TBs are taken in dispatch order, one machine window
+        (``max_concurrent_tbs``) at a time — only TBs that would
+        plausibly co-execute are interleaved — and spread round-robin
+        across the SM L1s.  Shared by the freeze path (a frozen
+        kernel's undispatched tail) and the auto-fidelity path (a
+        whole estimated kernel).  Returns ``(ops_replayed,
+        estimated_noc_flits)``.
+        """
+        total_skipped = 0
+        total_flits = 0
         wave_cap = max(1, self.config.max_concurrent_tbs)
         n_sms = len(self.sms)
-        for start in range(0, len(pending), wave_cap):
+        for start in range(0, len(contexts), wave_cap):
             streams = []
-            for tb in pending[start:start + wave_cap]:
+            for tb in contexts[start:start + wave_cap]:
                 sm_id = self._ff_sm_cursor % n_sms
                 self._ff_sm_cursor += 1
                 for warp in tb.warps:
@@ -566,37 +1027,34 @@ class GPUSystem:
         *streams* is a list of ``(sm_id, (lines, channels, banks,
         rows, slices, writes))`` per warp; ops are merged one per warp
         per turn — approximately the order co-resident warps would
-        issue in — and handed to :meth:`_replay_ops`.
+        issue in — and handed to :meth:`_replay_ops`.  The merge is
+        one vectorized lexsort over (op position, stream index)
+        instead of a per-op Python loop — on large frozen kernels the
+        replay is the sampled run's residual cost.
         """
-        sm_ids: List[int] = []
-        lines: List[int] = []
-        channels: List[int] = []
-        banks: List[int] = []
-        rows: List[int] = []
-        slice_ids: List[int] = []
-        writes: List[bool] = []
-        position = 0
-        active = list(streams)
-        while active:
-            still_active = []
-            for stream in active:
-                sm_id, (c_lines, c_channels, c_banks, c_rows, c_slices, c_writes) = stream
-                sm_ids.append(sm_id)
-                lines.append(c_lines[position])
-                channels.append(c_channels[position])
-                banks.append(c_banks[position])
-                rows.append(c_rows[position])
-                slice_ids.append(c_slices[position])
-                writes.append(c_writes[position])
-                if position + 1 < len(c_lines):
-                    still_active.append(stream)
-            active = still_active
-            position += 1
-        if not lines:
+        if not streams:
             return 0, 0
-        return self._replay_ops(
-            sm_ids, lines, channels, banks, rows, slice_ids, writes
-        )
+        if len(streams) == 1:
+            sm_id, chunk = streams[0]
+            lines, channels, banks, rows, slice_ids, writes = chunk
+            return self._replay_ops(
+                [sm_id] * len(lines), lines, channels, banks, rows,
+                slice_ids, writes,
+            )
+        lengths = [len(chunk[0]) for _, chunk in streams]
+        position = np.concatenate([np.arange(n) for n in lengths])
+        stream_index = np.repeat(np.arange(len(streams)), lengths)
+        order = np.lexsort((stream_index, position))
+        sm_ids = np.repeat(
+            np.asarray([sm_id for sm_id, _ in streams]), lengths
+        )[order]
+        merged = []
+        for field in range(6):
+            concatenated = np.concatenate(
+                [np.asarray(chunk[field]) for _, chunk in streams]
+            )
+            merged.append(concatenated[order])
+        return self._replay_ops(sm_ids, *merged)
 
 
     def _replay_ops(self, sm_ids, lines, channels, banks, rows, slice_ids, writes):
@@ -609,72 +1067,112 @@ class GPUSystem:
         Returns ``(ops_replayed, estimated_noc_flits)``.
         """
         total_ops = len(lines)
-        per_sm_positions: Dict[int, List[int]] = {}
-        for position, sm_id in enumerate(sm_ids):
-            per_sm_positions.setdefault(sm_id, []).append(position)
-        forwarded: List[int] = []
-        for sm_id in sorted(per_sm_positions):
-            positions = per_sm_positions[sm_id]
-            kept = self.sms[sm_id].warm_l1(
-                [lines[p] for p in positions],
-                [writes[p] for p in positions],
+        if not total_ops:
+            return 0, 0
+        sm_arr = np.asarray(sm_ids, dtype=np.int64)
+        lines_arr = np.asarray(lines, dtype=np.uint64)
+        writes_arr = np.asarray(writes, dtype=bool)
+        # Set hashing depends only on geometry, and every SM shares one
+        # L1 geometry — one vectorized pass covers the whole stream.
+        l1_set_ids = self.sms[0].l1.set_indices_array(lines_arr)
+        order = np.argsort(sm_arr, kind="stable")
+        sorted_sm = sm_arr[order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_sm)) + 1).tolist(),
+            total_ops,
+        ]
+        keep = np.zeros(total_ops, dtype=bool)
+        for start, end in zip(bounds, bounds[1:]):
+            positions = order[start:end]
+            kept = self.sms[int(sorted_sm[start])].warm_l1(
+                lines_arr[positions].tolist(),
+                writes_arr[positions].tolist(),
+                set_ids=l1_set_ids[positions].tolist(),
             )
-            forwarded.extend(positions[k] for k in kept)
-        forwarded.sort()
+            if kept:
+                keep[positions[np.asarray(kept, dtype=np.int64)]] = True
+        forwarded = np.flatnonzero(keep)
+        if not forwarded.size:
+            return total_ops, 0
         data_flits = self.config.data_packet_flits
         read_flits = self.config.noc_control_flits + data_flits
-        n_slices = self.config.llc_slices
         n_channels = self.timing.channels
+        fwd_write_count = int(writes_arr[forwarded].sum())
+        noc_flits = (
+            fwd_write_count * data_flits
+            + (forwarded.size - fwd_write_count) * read_flits
+        )
         # Post-L1 traffic grouped per LLC slice in replay order (a
-        # slice only ever sees its own sub-stream).
-        slice_lines: List[List[int]] = [[] for _ in range(n_slices)]
-        slice_writes: List[List[bool]] = [[] for _ in range(n_slices)]
-        slice_coords: List[List[tuple]] = [[] for _ in range(n_slices)]
-        noc_flits = 0
-        for position in forwarded:
-            slice_id = slice_ids[position]
-            slice_lines[slice_id].append(lines[position])
-            is_write = writes[position]
-            slice_writes[slice_id].append(is_write)
-            slice_coords[slice_id].append(
-                (channels[position], banks[position], rows[position])
+        # slice only ever sees its own sub-stream); LLC slices also
+        # share one geometry, so set indices again come from one pass.
+        slice_arr = np.asarray(slice_ids, dtype=np.int64)[forwarded]
+        llc_set_ids = self.slices[0].cache.set_indices_array(lines_arr[forwarded])
+        chan_arr = np.asarray(channels, dtype=np.int64)
+        bank_arr = np.asarray(banks, dtype=np.int64)
+        row_arr = np.asarray(rows, dtype=np.int64)
+        s_order = np.argsort(slice_arr, kind="stable")
+        sorted_slice = slice_arr[s_order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_slice)) + 1).tolist(),
+            forwarded.size,
+        ]
+        miss_channel_parts: List[np.ndarray] = []
+        miss_bank_parts: List[np.ndarray] = []
+        miss_row_parts: List[np.ndarray] = []
+        writeback_parts: List[np.ndarray] = []
+        for start, end in zip(bounds, bounds[1:]):
+            relative = s_order[start:end]
+            positions = forwarded[relative]
+            miss_positions, victims = self.slices[int(sorted_slice[start])].warm_many(
+                lines_arr[positions].tolist(),
+                writes_arr[positions].tolist(),
+                set_ids=llc_set_ids[relative].tolist(),
             )
-            noc_flits += data_flits if is_write else read_flits
-        channel_banks: List[List[int]] = [[] for _ in range(n_channels)]
-        channel_rows: List[List[int]] = [[] for _ in range(n_channels)]
-        channel_reads = [0] * n_channels
-        writeback_lines: List[int] = []
-        for slice_id in range(n_slices):
-            if not slice_lines[slice_id]:
-                continue
-            miss_positions, victims = self.slices[slice_id].warm_many(
-                slice_lines[slice_id], slice_writes[slice_id]
-            )
-            writeback_lines.extend(victims)
-            slice_meta = slice_coords[slice_id]
-            for miss in miss_positions:
-                channel, bank, row = slice_meta[miss]
-                channel_banks[channel].append(bank)
-                channel_rows[channel].append(row)
-                channel_reads[channel] += 1
-        channel_writes = [0] * n_channels
-        if writeback_lines:
+            if miss_positions:
+                missed = positions[np.asarray(miss_positions, dtype=np.int64)]
+                miss_channel_parts.append(chan_arr[missed])
+                miss_bank_parts.append(bank_arr[missed])
+                miss_row_parts.append(row_arr[missed])
+            if victims:
+                writeback_parts.append(np.asarray(victims, dtype=np.uint64))
+        empty = np.empty(0, dtype=np.int64)
+        read_ch = np.concatenate(miss_channel_parts) if miss_channel_parts else empty
+        read_banks = np.concatenate(miss_bank_parts) if miss_bank_parts else empty
+        read_rows = np.concatenate(miss_row_parts) if miss_row_parts else empty
+        if writeback_parts:
             fields = decode_fields(
-                self.address_map, np.asarray(writeback_lines, dtype=np.uint64)
+                self.address_map, np.concatenate(writeback_parts)
             )
-            wb_channels = self._channels_of(fields).tolist()
-            wb_banks = fields["bank"].tolist()
-            wb_rows = fields["row"].tolist()
-            for channel, bank, row in zip(wb_channels, wb_banks, wb_rows):
-                channel_banks[channel].append(bank)
-                channel_rows[channel].append(row)
-                channel_writes[channel] += 1
-        for channel in range(n_channels):
-            if channel_banks[channel]:
-                self.dram.controllers[channel].replay_traffic(
-                    channel_banks[channel], channel_rows[channel],
-                    channel_reads[channel], channel_writes[channel],
-                )
+            wb_ch = self._channels_of(fields).astype(np.int64)
+            wb_banks = fields["bank"].astype(np.int64)
+            wb_rows = fields["row"].astype(np.int64)
+        else:
+            wb_ch = wb_banks = wb_rows = empty
+        # Per-channel streams keep the old arrival order: read fetches
+        # in slice-major order, then writebacks in slice-major order.
+        all_ch = np.concatenate([read_ch, wb_ch])
+        if not all_ch.size:
+            return total_ops, noc_flits
+        all_banks = np.concatenate([read_banks, wb_banks])
+        all_rows = np.concatenate([read_rows, wb_rows])
+        reads_per = np.bincount(read_ch, minlength=n_channels)
+        writes_per = np.bincount(wb_ch, minlength=n_channels)
+        c_order = np.argsort(all_ch, kind="stable")
+        sorted_ch = all_ch[c_order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_ch)) + 1).tolist(),
+            sorted_ch.size,
+        ]
+        for start, end in zip(bounds, bounds[1:]):
+            segment = c_order[start:end]
+            channel = int(sorted_ch[start])
+            self.dram.controllers[channel].replay_traffic(
+                all_banks[segment], all_rows[segment],
+                int(reads_per[channel]), int(writes_per[channel]),
+            )
         return total_ops, noc_flits
 
 
@@ -706,7 +1204,12 @@ class GPUSystem:
             metadata_extra = {
                 "fidelity": fidelity_to_json(fidelity),
                 "sampled": dict(
-                    accounting.metadata(), detailed_cycles=detailed_cycles
+                    accounting.metadata(),
+                    detailed_cycles=detailed_cycles,
+                    peak_dram_queue_depth=max(
+                        (c.peak_queue_depth for c in self.dram.controllers),
+                        default=0,
+                    ),
                 ),
             }
         instructions = workload.approx_instructions

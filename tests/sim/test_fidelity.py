@@ -1,16 +1,23 @@
-"""Fidelity modes: parsing, serialization, exact parity, sampled runs."""
+"""Fidelity modes: parsing, serialization, exact parity, sampled/auto runs."""
 
+import numpy as np
 import pytest
 
 from repro.core import hynix_gddr5_map
 from repro.registry import make_scheme, make_workload
+from repro.runner.config import RunConfig
 from repro.sim.fidelity import (
+    AUTO,
     EXACT,
+    AutoFidelity,
     SampledFidelity,
     fidelity_to_json,
     parse_fidelity,
 )
 from repro.sim.gpu_system import GPUSystem
+from repro.sim.metrics import SampledAccounting
+from repro.specs import SchemeSpec, WorkloadSpec
+from repro.workloads.base import KernelTrace, TBTrace, Workload, WarpTrace
 
 AMAP = hynix_gddr5_map()
 
@@ -50,7 +57,18 @@ class TestParsing:
         fid = SampledFidelity(1, 1, 4)
         assert parse_fidelity(fid) is fid
 
-    @pytest.mark.parametrize("bad", ["bogus", "sampled:oops=3", "sampled:warmup=x"])
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "bogus",
+            "sampled:oops=3",
+            "sampled:warmup=x",
+            "sampled:",  # params promised but none given
+            "sampled: , ,",
+            "auto:",
+            "auto:oops=1",
+        ],
+    )
     def test_bad_strings(self, bad):
         with pytest.raises(ValueError):
             parse_fidelity(bad)
@@ -148,3 +166,170 @@ class TestSampledRuns:
         system.run(workload, fidelity=self.FID)
         with pytest.raises(RuntimeError):
             system.run(workload, fidelity=self.FID)
+
+
+class TestAutoParsing:
+    def test_auto_default(self):
+        assert parse_fidelity("auto") == AutoFidelity()
+        assert parse_fidelity(" AUTO ") == AUTO
+
+    def test_auto_with_params(self):
+        fid = parse_fidelity("auto:exemplars=3,big_kernel_ops=512")
+        assert fid == AutoFidelity(exemplars=3, big_kernel_ops=512)
+        assert fid.min_freeze_ops == AutoFidelity().min_freeze_ops
+
+    def test_auto_json_round_trip(self):
+        fid = AutoFidelity(exemplars=3, big_kernel_ops=512, tail_frac=0.25)
+        data = fidelity_to_json(fid)
+        assert data["kind"] == "auto"
+        assert data["big_kernel_ops"] == 512
+        assert parse_fidelity(data) == fid
+
+    def test_auto_str_round_trips(self):
+        fid = AutoFidelity(exemplars=3, min_freeze_ops=2048)
+        assert parse_fidelity(str(fid)) == fid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoFidelity(exemplars=0)
+        with pytest.raises(ValueError):
+            AutoFidelity(warmup_frac=0.6, freeze_frac=0.5)
+        with pytest.raises(ValueError):
+            AutoFidelity(freeze_frac=0.5, tail_frac=0.6)
+
+
+class TestAutoRuns:
+    def test_deterministic(self):
+        workload = small_workload(name="SC")
+        first = fresh_system("PAE").run(workload, fidelity="auto")
+        second = fresh_system("PAE").run(workload, fidelity="auto")
+        assert first.to_dict() == second.to_dict()
+
+    def test_metadata_records_auto_plan(self):
+        """SC repeats a kernel even at scale 0.25, so auto estimates >= 1."""
+        result = fresh_system().run(small_workload(name="SC"), fidelity="auto")
+        assert result.metadata["fidelity"]["kind"] == "auto"
+        sampled = result.metadata["sampled"]
+        assert sampled["estimated_kernels"] >= 1
+        assert sampled["ff_requests"] > 0
+
+    def test_requests_conserved(self):
+        """Every request still passes an L1 (detailed or replayed)."""
+        workload = small_workload(name="SC")
+        exact = fresh_system().run(workload)
+        auto = fresh_system().run(workload, fidelity="auto")
+        assert auto.requests == exact.requests
+
+
+class TestAccuracyRegression:
+    """Pin drift-corrected approximation error against exact runs.
+
+    SC repeats kernels at every scale, so both the sampled drift
+    correction and the auto per-kernel estimator are exercised.  The
+    bands are generous multiples of the currently measured errors
+    (auto <= 1.3%, sampled <= 14.5% on these points) so they fail on
+    regressions, not on noise — both modes are fully deterministic.
+    """
+
+    SAMPLED = SampledFidelity(warmup=1, window=2, period=16)
+
+    @pytest.mark.parametrize("scheme", ["BASE", "PAE"])
+    @pytest.mark.parametrize("scale", [0.25, 0.5])
+    def test_auto_tracks_exact(self, scheme, scale):
+        workload = small_workload(scale=scale, name="SC")
+        exact = fresh_system(scheme).run(workload)
+        auto = fresh_system(scheme).run(workload, fidelity="auto")
+        error = abs(auto.cycles / exact.cycles - 1.0)
+        assert error < 0.03, f"auto off by {error:.1%} (SC {scheme} @ {scale})"
+
+    @pytest.mark.parametrize("scheme", ["BASE", "PAE"])
+    @pytest.mark.parametrize("scale", [0.25, 0.5])
+    def test_sampled_tracks_exact(self, scheme, scale):
+        workload = small_workload(scale=scale, name="SC")
+        exact = fresh_system(scheme).run(workload)
+        sampled = fresh_system(scheme).run(workload, fidelity=self.SAMPLED)
+        error = abs(sampled.cycles / exact.cycles - 1.0)
+        assert error < 0.20, (
+            f"sampled off by {error:.1%} (SC {scheme} @ {scale})"
+        )
+
+
+def one_op_workload():
+    """A degenerate workload: one kernel, one TB, one warp, one read."""
+    warp = WarpTrace(
+        gaps=np.zeros(1, dtype=np.int64),
+        addresses=np.array([64], dtype=np.uint64),
+        writes=np.zeros(1, dtype=bool),
+    )
+    kernel = KernelTrace("k0", (TBTrace(0, (warp,)),))
+    return Workload("one-op", "OO", (kernel,), expected_valley=False)
+
+
+class TestDegenerateKernels:
+    """Tiny kernels must fall back to exact accounting, not crash."""
+
+    @pytest.mark.parametrize(
+        "fidelity",
+        [SampledFidelity(warmup=1, window=2, period=16), AUTO],
+        ids=["sampled", "auto"],
+    )
+    def test_one_op_kernel_matches_exact(self, fidelity):
+        exact = fresh_system().run(one_op_workload())
+        approx = fresh_system().run(one_op_workload(), fidelity=fidelity)
+        assert approx.cycles == exact.cycles
+        sampled = approx.metadata["sampled"]
+        assert sampled["ff_requests"] == 0
+        assert sampled["estimated_kernels"] == 0
+
+    def test_zero_request_window_extrapolates_nothing(self):
+        """With no measured traffic anywhere, nothing is extrapolated."""
+        accounting = SampledAccounting()
+        accounting.record_window(100.0, 0)
+        accounting.record_fast_forward(10)
+        assert accounting.extrapolated_cycles() == 0
+
+    def test_zero_request_window_falls_back_to_pooled_rate(self):
+        """A zero-request window never poisons the rate with None/inf."""
+        accounting = SampledAccounting()
+        accounting.record_window(100.0, 0)
+        accounting.record_window(100.0, 50)  # 2 cycles per request
+        accounting.record_fast_forward(10)
+        assert accounting.extrapolated_cycles() == 20
+
+    def test_negative_estimates_rejected(self):
+        accounting = SampledAccounting()
+        with pytest.raises(ValueError):
+            accounting.record_estimated_kernel(-1, 10.0)
+
+
+class TestCacheKeys:
+    """Fidelity must be part of the run identity — except exact, which
+    keeps byte-parity with pre-fidelity configs."""
+
+    def config(self, **kwargs):
+        return RunConfig(
+            benchmark=WorkloadSpec.from_value("MT"),
+            scheme=SchemeSpec.from_value("BASE"),
+            scale=0.25,
+            **kwargs,
+        )
+
+    def test_auto_hash_distinct_from_exact_and_sampled(self):
+        hashes = {
+            self.config().config_hash(),
+            self.config(fidelity="sampled").config_hash(),
+            self.config(fidelity="auto").config_hash(),
+            self.config(fidelity=AutoFidelity(exemplars=3)).config_hash(),
+        }
+        assert len(hashes) == 4
+
+    def test_exact_dict_omits_fidelity(self):
+        assert "fidelity" not in self.config().to_dict()
+
+    def test_auto_round_trips_through_dict(self):
+        fid = AutoFidelity(exemplars=3, big_kernel_ops=512)
+        data = self.config(fidelity=fid).to_dict()
+        assert data["fidelity"]["big_kernel_ops"] == 512
+        restored = RunConfig.from_dict(data)
+        assert restored.fidelity == fid
+        assert restored.config_hash() == self.config(fidelity=fid).config_hash()
