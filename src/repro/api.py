@@ -40,6 +40,7 @@ from .core.entropy import (
     translate_kernel_inputs,
 )
 from .runner.config import RunConfig, SweepGrid, unique_names
+from .runner.faults import FailurePolicy
 from .runner.report import render_report, shard_report, sweep_report
 from .runner.shard import ShardSpec
 from .runner.sweep import SweepRunner, default_workers
@@ -65,21 +66,24 @@ def _runner(
     runner: Optional[SweepRunner],
     workers: Optional[int],
     cache_dir,
+    policy: Optional[FailurePolicy] = None,
 ) -> Tuple[SweepRunner, bool]:
     """The runner to use, plus whether this call owns (and must close) it.
 
     A facade-created runner is closed before returning so a throwaway
     ``workers=N`` call never leaks its process pool; callers who pass
-    ``runner=`` keep its pool alive across calls and close it themselves.
-    With *workers* unset, the ``REPRO_WORKERS`` environment variable
-    decides (so CI and launchers can fan api calls out without code
-    changes); without it, calls run serial in-process.
+    ``runner=`` keep its pool alive across calls and close it themselves
+    (their runner's own failure policy applies — *policy* is for
+    facade-created runners only).  With *workers* unset, the
+    ``REPRO_WORKERS`` environment variable decides (so CI and launchers
+    can fan api calls out without code changes); without it, calls run
+    serial in-process.
     """
     if runner is not None:
         return runner, False
     if workers is None and os.environ.get("REPRO_WORKERS", "").strip():
         workers = default_workers()
-    return SweepRunner(workers=workers, cache_dir=cache_dir), True
+    return SweepRunner(workers=workers, cache_dir=cache_dir, policy=policy), True
 
 
 def _config(
@@ -208,6 +212,8 @@ def sweep(
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
     cache_dir=None,
+    strict: bool = True,
+    policy: Optional[FailurePolicy] = None,
 ) -> Dict[str, object]:
     """Run a sweep and return the deterministic report dict.
 
@@ -217,6 +223,13 @@ def sweep(
     grid with the keyword axes.  With *shard* (``"2/4"`` or a
     :class:`ShardSpec`) only that slice runs and a partial shard
     report is returned, mergeable by :func:`repro.runner.report.merge_shard_reports`.
+
+    *strict* (default) raises :class:`~repro.runner.faults.SweepFailure`
+    if any config is quarantined by the failure policy — after every
+    healthy config completed; ``strict=False`` returns a partial report
+    with a ``"failures"`` section instead (the CLI behaviour).
+    *policy* is the :class:`~repro.runner.faults.FailurePolicy`
+    (retries, timeout) for the facade-created runner.
     """
     if scenario is not None:
         if isinstance(scenario, SweepGrid):
@@ -241,12 +254,12 @@ def sweep(
         if schemes is not None:
             axes["schemes"] = tuple(schemes)
         grid = SweepGrid(**axes)
-    executor, owned = _runner(runner, workers, cache_dir)
+    executor, owned = _runner(runner, workers, cache_dir, policy)
     try:
         if shard is not None:
             spec = shard if isinstance(shard, ShardSpec) else ShardSpec.parse(shard)
-            return shard_report(grid, spec, executor)
-        return sweep_report(grid, executor)
+            return shard_report(grid, spec, executor, strict=strict)
+        return sweep_report(grid, executor, strict=strict)
     finally:
         if owned:
             executor.close()

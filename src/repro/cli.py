@@ -45,6 +45,11 @@ Anywhere a scheme or benchmark name is accepted, ``@path.json`` loads
 a spec file instead — so custom scenarios flow through the same
 commands as the paper's built-ins.
 
+Exit codes: 0 success, 2 usage / spec / merge errors, 3 **partial
+success** — the sweep (or merge) completed but some configs were
+quarantined by the failure policy; the report's ``"failures"`` section
+lists them (see :mod:`repro.runner.faults`).
+
 Examples
 --------
 ::
@@ -77,6 +82,7 @@ from .core import SCHEME_NAMES, find_entropy_valleys, hynix_gddr5_map
 from .core.serialize import dump_scheme
 from .runner import (
     CACHE_SCHEMA_VERSION,
+    FailurePolicy,
     MergeError,
     ResultCache,
     ShardSpec,
@@ -263,23 +269,47 @@ def _progress_printer():
     return emit
 
 
+def _print_failures(report, command: str) -> int:
+    """Stderr summary of a report's quarantined configs; 3 if any, else 0."""
+    failures = report.get("failures", [])
+    if not failures:
+        return 0
+    print(
+        f"warning: {command} completed partially — "
+        f"{len(failures)} config(s) quarantined:",
+        file=sys.stderr,
+    )
+    for record in failures:
+        print(
+            f"  {record['benchmark']}/{record['scheme']} "
+            f"[{record['kind']}] after {record['attempts']} attempt(s): "
+            f"{record['error']}",
+            file=sys.stderr,
+        )
+    return 3
+
+
 def _cmd_sweep(args) -> int:
     _apply_registrations(args)
     grid = _grid_from_args(args)
     shard = ShardSpec.parse(args.shard) if args.shard else None
     workers = args.workers if args.workers > 0 else default_workers()
-    runner = SweepRunner(
+    # The CLI sweeps non-strict: a quarantined config yields a partial
+    # report plus exit code 3 instead of an aborted run — a fleet's
+    # launcher wants the 199 healthy results, not a stack trace.
+    with SweepRunner(
         workers=workers,
         cache_dir=args.cache_dir if args.cache_dir else None,
         claims=args.claims,
         progress=_progress_printer() if args.progress else None,
-    )
-    started = time.perf_counter()
-    try:
-        report = api.sweep(grid, shard=shard, runner=runner)
-    finally:
-        runner.close()  # deterministic pool shutdown (no at-exit races)
-    elapsed = time.perf_counter() - started
+        policy=FailurePolicy(
+            max_retries=args.max_retries,
+            timeout=args.timeout if args.timeout > 0 else None,
+        ),
+    ) as runner:  # context manager: deterministic pool shutdown, even on error
+        started = time.perf_counter()
+        report = api.sweep(grid, shard=shard, runner=runner, strict=False)
+        elapsed = time.perf_counter() - started
     if args.progress:
         print(file=sys.stderr)  # terminate the \r progress line
     _write_report(render_report(report), args.output)
@@ -289,11 +319,11 @@ def _cmd_sweep(args) -> int:
     slice_note = f" [shard {shard}]" if shard is not None else ""
     print(
         f"{stats.requested} runs{slice_note}: {stats.cache_hits} cache hits, "
-        f"{stats.memory_hits} memo hits, {stats.executed} executed "
-        f"({elapsed:.2f}s, {workers} worker(s))",
+        f"{stats.memory_hits} memo hits, {stats.executed} executed, "
+        f"{stats.failed} failed ({elapsed:.2f}s, {workers} worker(s))",
         file=sys.stderr,
     )
-    return 0
+    return _print_failures(report, "sweep")
 
 
 def _cmd_merge(args) -> int:
@@ -315,7 +345,7 @@ def _cmd_merge(args) -> int:
         return 2
     _write_report(render_report(merged), args.output)
     print(f"merged {len(merged['runs'])} runs", file=sys.stderr)
-    return 0
+    return _print_failures(merged, "merge")
 
 
 def _cmd_cache_ls(args) -> int:
@@ -552,6 +582,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--progress", action="store_true",
         help="report live executed-count / ETA on stderr",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-run wall-clock timeout in seconds, enforced by the "
+             "parent (needs --workers > 1); 0 = no timeout (default)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-executions of a failing config before it is quarantined "
+             "into the report's 'failures' section (default: 2)",
     )
     p.add_argument(
         "-o", "--output", default="-",

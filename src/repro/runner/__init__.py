@@ -78,6 +78,24 @@ dispatched longest-job-first in batched futures (see
 :mod:`repro.runner.sweep`); pass ``schedule="fifo"`` to A/B the old
 submission order.
 
+Failure semantics
+-----------------
+A :class:`~repro.runner.faults.FailurePolicy` governs how a sweep
+reacts to failing runs: worker exceptions are retried with exponential
+backoff and deterministic jitter up to ``max_retries`` times, hung
+runs are bounded by a parent-enforced per-run ``timeout``, a dead
+worker (``BrokenProcessPool``) triggers an automatic pool rebuild with
+batch *bisection* to pin the poisoned config, and cache I/O errors
+degrade to unpersisted execution with a warning.  A config that keeps
+failing is **quarantined** as a structured
+:class:`~repro.runner.faults.RunFailure`; ``run_outcomes`` returns
+them alongside the healthy results, strict ``run_many`` raises
+:class:`~repro.runner.faults.SweepFailure` after everything healthy
+completed, and the CLI reports partial success via the report's
+``"failures"`` section and exit code 3.  Every recovery path is
+deterministically testable through
+:class:`~repro.runner.faults.FaultPlan` (``REPRO_FAULT_INJECT``).
+
 Determinism guarantees
 ----------------------
 * Every run is a pure function of its config: workload synthesis and
@@ -99,6 +117,15 @@ Determinism guarantees
 
 from .cache import CacheEntry, CacheStats, ResultCache
 from .config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+from .faults import (
+    FAULT_ENV_VAR,
+    FailurePolicy,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    RunFailure,
+    SweepFailure,
+)
 from .report import (
     MergeError,
     REPORT_FORMAT,
@@ -112,6 +139,7 @@ from .report import (
 )
 from .shard import ShardSpec, shard_owner
 from .sweep import (
+    SweepOutcome,
     SweepProgress,
     SweepRunner,
     SweepStats,
@@ -125,14 +153,22 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheEntry",
     "CacheStats",
+    "FAULT_ENV_VAR",
+    "FailurePolicy",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
     "MergeError",
     "REPORT_FORMAT",
     "ResultCache",
     "RunConfig",
     "RunContext",
+    "RunFailure",
     "SHARD_FORMAT",
     "ShardSpec",
+    "SweepFailure",
     "SweepGrid",
+    "SweepOutcome",
     "SweepProgress",
     "SweepRunner",
     "SweepStats",

@@ -53,6 +53,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..core.serialize import canonical_json, stable_hash
 from ..sim.results import SimulationResult
 from .config import CACHE_SCHEMA_VERSION, RunConfig
+from .faults import FaultPlan
 
 __all__ = ["ResultCache", "CacheStats", "CacheEntry"]
 
@@ -107,12 +108,22 @@ def _atomic_write(path: Path, text: str) -> None:
 
 
 class ResultCache:
-    """JSON result records keyed by the stable config hash."""
+    """JSON result records keyed by the stable config hash.
 
-    def __init__(self, root) -> None:
+    *faults* is an optional :class:`~repro.runner.faults.FaultPlan`
+    (or spec string) whose ``corrupt`` / ``cacheio`` clauses are
+    applied on :meth:`put` — the deterministic stand-in for a
+    filesystem that truncates records or raises I/O errors, used by
+    the fault-injection test harness.  Without a plan, writes are
+    untouched.
+    """
+
+    def __init__(self, root, faults: Optional[FaultPlan] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self._faults = FaultPlan.parse(faults) if isinstance(faults, str) else faults
+        self._write_counts: Dict[str, int] = {}
 
     def path_for(self, key: str) -> Path:
         """On-disk location of the record for cache key *key*."""
@@ -174,12 +185,29 @@ class ResultCache:
 
         When *wall_seconds* is given, a metadata sidecar is written
         next to the record; sidecar failures are swallowed (metadata is
-        advisory, the record itself is what matters).
+        advisory, the record itself is what matters).  May raise
+        :class:`OSError` on real (or injected) I/O failure — callers
+        treat the cache as an optimization and must survive that.
         """
         key = config.config_hash()
         path = self.path_for(key)
         record = {"config": config.to_dict(), "result": result.to_dict()}
-        _atomic_write(path, canonical_json(record) + "\n")
+        text = canonical_json(record) + "\n"
+        if self._faults is not None:
+            index = self._write_counts.get(key, 0)
+            self._write_counts[key] = index + 1
+            fault = self._faults.cache_fault(
+                config.benchmark_name, config.scheme_name, key, index
+            )
+            if fault == "cacheio":
+                raise OSError(
+                    f"injected cache I/O fault writing {key[:16]} "
+                    f"({config.benchmark_name}/{config.scheme_name})"
+                )
+            if fault == "corrupt":
+                # A torn write: half the record, no closing brace.
+                text = text[: max(8, len(text) // 2)]
+        _atomic_write(path, text)
         self.stats.stores += 1
         if wall_seconds is not None:
             meta = {
@@ -311,25 +339,32 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Claims
     # ------------------------------------------------------------------
-    def try_claim(self, key: str) -> bool:
-        """Atomically claim *key* for this process; True if we own it.
+    def _claim_nonce(self) -> str:
+        return f"{os.getpid()}@{socket.gethostname()}:{time.time_ns()}"
+
+    def try_claim(self, key: str) -> Optional[str]:
+        """Atomically claim *key* for this process.
 
         The claim is a small JSON marker created with ``O_EXCL`` so
-        exactly one of any number of racing processes wins.
+        exactly one of any number of racing processes wins.  Returns
+        the claim's nonce (truthy) when this process now owns it —
+        pass it to :meth:`release_claim` so only *this* claim is ever
+        released, never a successor's — or None when a peer holds it.
         """
         path = self.claim_path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         try:
             fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
         except FileExistsError:
-            return False
+            return None
+        nonce = self._claim_nonce()
         with os.fdopen(fd, "w") as handle:
             json.dump(
                 {"pid": os.getpid(), "host": socket.gethostname(),
-                 "started": time.time()},
+                 "started": time.time(), "nonce": nonce},
                 handle,
             )
-        return True
+        return nonce
 
     def claim_age(self, key: str) -> Optional[float]:
         """Seconds since the claim on *key* was created; None if unclaimed."""
@@ -338,7 +373,7 @@ class ResultCache:
         except OSError:
             return None
 
-    def take_over_claim(self, key: str, ttl: float) -> bool:
+    def take_over_claim(self, key: str, ttl: float) -> Optional[str]:
         """Take over the claim on *key* if it is older than *ttl* seconds.
 
         Racing takeovers are resolved by atomically replacing the stale
@@ -346,7 +381,8 @@ class ResultCache:
         replacer finds its own nonce and wins, every other contender
         sees a foreign nonce and defers.  (A plain unlink-then-claim
         would let a loser delete the winner's fresh claim.)  Returns
-        True when this process now owns the claim.
+        the new claim's nonce (truthy) when this process now owns it,
+        None otherwise.
         """
         path = self.claim_path_for(key)
         try:
@@ -355,8 +391,8 @@ class ResultCache:
             # Claim vanished meanwhile: race for a fresh one.
             return self.try_claim(key)
         if age <= ttl:
-            return False
-        nonce = f"{os.getpid()}@{socket.gethostname()}:{time.time_ns()}"
+            return None
+        nonce = self._claim_nonce()
         payload = json.dumps({
             "pid": os.getpid(), "host": socket.gethostname(),
             "started": time.time(), "nonce": nonce,
@@ -364,14 +400,32 @@ class ResultCache:
         try:
             _atomic_write(path, payload)
             with open(path) as handle:
-                return json.load(handle).get("nonce") == nonce
+                if json.load(handle).get("nonce") == nonce:
+                    return nonce
+                return None
         except (OSError, ValueError):
-            return False
+            return None
 
-    def release_claim(self, key: str) -> None:
-        """Drop the claim on *key* (no-op when absent)."""
+    def release_claim(self, key: str, nonce: Optional[str] = None) -> None:
+        """Drop the claim on *key* (no-op when absent).
+
+        With *nonce*, release only if the on-disk claim still carries
+        it: after this process's claim has already been released, a
+        *new* peer may have claimed the same key, and an unconditional
+        unlink would delete that peer's live claim (a third process
+        would then double-run the config).  Without a nonce the unlink
+        is unconditional (legacy / cleanup use).
+        """
+        path = self.claim_path_for(key)
+        if nonce is not None:
+            try:
+                with open(path) as handle:
+                    if json.load(handle).get("nonce") != nonce:
+                        return  # someone else's claim — leave it
+            except (OSError, ValueError):
+                return  # no claim (or unreadable): nothing of ours to drop
         try:
-            os.unlink(self.claim_path_for(key))
+            os.unlink(path)
         except OSError:
             pass
 

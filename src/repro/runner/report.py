@@ -12,6 +12,17 @@ sorted keys.  Two invocations over the same grid therefore produce
 byte-identical text no matter how many workers ran the sweep or
 whether results came from the cache.
 
+Partial success: when a sweep runs non-strict (``repro sweep``'s
+default), quarantined configs appear in a ``"failures"`` section — one
+record per config with its key, kind, error text, attempt count and
+wall seconds — and are *omitted* from ``runs`` and from any derived
+table needing them (a variant whose run or BASE baseline failed is
+skipped; its healthy siblings still normalize).  A clean report has no
+``"failures"`` key at all, so fault-free output stays byte-identical
+to pre-fault-tolerance reports.  ``wall_seconds`` inside a failure
+record is the one nondeterministic field in the format, and it only
+exists when something already went wrong.
+
 Sharded sweeps
 --------------
 ``repro sweep --shard I/N`` produces a **partial** report
@@ -28,11 +39,12 @@ files entirely.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.results import SimulationResult, perf_per_watt_ratio, speedup
 from .cache import ResultCache
 from .config import CACHE_SCHEMA_VERSION, RunConfig, SweepGrid
+from .faults import RunFailure
 from .shard import ShardSpec
 from .sweep import SweepRunner
 
@@ -57,23 +69,33 @@ class MergeError(ValueError):
 
 
 def _metric_tables(
-    configs: List[RunConfig], results: List[SimulationResult], grid: SweepGrid
+    configs: List[RunConfig],
+    results: List[Optional[SimulationResult]],
+    grid: SweepGrid,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Per-variant speedup / perf-per-watt tables, normalized to BASE.
 
     Keyed ``metric -> variant -> benchmark -> value`` where a variant
     is ``scheme`` for the plain single-seed/single-config grid and
     ``scheme@seed=s,n_sms=n,memory=m`` when those axes are swept.
+
+    A config whose own result — or whose BASE baseline — is missing
+    (quarantined in a partial-success sweep) is skipped; every pair
+    that *is* present normalizes exactly as in a clean sweep.
     """
-    by_key = {c.config_hash(): r for c, r in zip(configs, results)}
+    by_key = {
+        c.config_hash(): r for c, r in zip(configs, results) if r is not None
+    }
     multi = (
         len(grid.seeds) > 1 or len(grid.n_sms) > 1 or len(grid.memories) > 1
     )
     speedups: Dict[str, Dict[str, float]] = {}
     perf_per_watt: Dict[str, Dict[str, float]] = {}
     for config in configs:
-        base = by_key[config.baseline().config_hash()]
-        result = by_key[config.config_hash()]
+        base = by_key.get(config.baseline().config_hash())
+        result = by_key.get(config.config_hash())
+        if base is None or result is None:
+            continue
         if multi:
             variant = (
                 f"{config.scheme_name}@seed={config.seed},n_sms={config.n_sms},"
@@ -100,21 +122,26 @@ def _harmonic_means(table: Dict[str, Dict[str, float]]) -> Dict[str, float]:
 def report_from_results(
     grid: SweepGrid,
     configs: List[RunConfig],
-    results: List[SimulationResult],
+    results: List[Optional[SimulationResult]],
+    failures: Optional[Sequence[RunFailure]] = None,
 ) -> Dict[str, object]:
     """Shape a full grid's results into the report dict.
 
     The single report-building code path: a one-machine sweep, a shard
     merge and a cache replay all end here, which is what makes their
-    outputs byte-identical.
+    outputs byte-identical.  *failures* (quarantined configs from a
+    partial-success sweep) become the ``"failures"`` section — present
+    only when non-empty, sorted by config key, one record per distinct
+    config — and their ``None`` result slots are dropped from ``runs``.
     """
     tables = _metric_tables(configs, results, grid)
-    return {
+    report = {
         "format": REPORT_FORMAT,
         "grid": grid.to_dict(),
         "runs": [
             {"config": c.to_dict(), "result": r.to_dict()}
             for c, r in zip(configs, results)
+            if r is not None
         ],
         "derived": {
             "speedup": tables["speedup"],
@@ -123,27 +150,56 @@ def report_from_results(
             "hmean_perf_per_watt": _harmonic_means(tables["perf_per_watt"]),
         },
     }
+    if failures:
+        deduped = {f.key: f for f in failures}
+        report["failures"] = [
+            deduped[key].to_dict() for key in sorted(deduped)
+        ]
+    return report
 
 
-def sweep_report(grid: SweepGrid, runner: SweepRunner) -> Dict[str, object]:
-    """Run *grid* on *runner* and build the report dict."""
+def sweep_report(
+    grid: SweepGrid, runner: SweepRunner, strict: bool = True
+) -> Dict[str, object]:
+    """Run *grid* on *runner* and build the report dict.
+
+    Strict (the default, and the library/golden-test behaviour) raises
+    :class:`~repro.runner.faults.SweepFailure` if any config was
+    quarantined; ``strict=False`` (the CLI) reports partial success
+    via the ``"failures"`` section instead.
+    """
     configs = grid.configs()
-    results = runner.run_many(configs)
-    return report_from_results(grid, configs, results)
+    if strict:
+        return report_from_results(grid, configs, runner.run_many(configs))
+    outcome = runner.run_outcomes(configs)
+    return report_from_results(
+        grid, configs, outcome.results, failures=outcome.failures
+    )
 
 
 def shard_report(
-    grid: SweepGrid, shard: ShardSpec, runner: SweepRunner
+    grid: SweepGrid, shard: ShardSpec, runner: SweepRunner, strict: bool = True
 ) -> Dict[str, object]:
     """Run this shard's slice of *grid* and build a partial report.
 
     Partial reports omit the derived tables: a shard generally lacks
     the BASE baselines of configs it does not own, so normalization
-    happens at merge time over the complete run set.
+    happens at merge time over the complete run set.  With
+    ``strict=False`` quarantined configs become a ``"failures"``
+    section (only when non-empty) that :func:`merge_shard_reports`
+    carries into the merged report.
     """
     configs = shard.select(grid.configs())
-    results = runner.run_many(configs)
-    return {
+    if strict:
+        results: List[Optional[SimulationResult]] = list(
+            runner.run_many(configs)
+        )
+        failures: List[RunFailure] = []
+    else:
+        outcome = runner.run_outcomes(configs)
+        results = outcome.results
+        failures = outcome.failures
+    report = {
         "format": SHARD_FORMAT,
         "schema": CACHE_SCHEMA_VERSION,
         "grid": grid.to_dict(),
@@ -151,8 +207,13 @@ def shard_report(
         "runs": [
             {"config": c.to_dict(), "result": r.to_dict()}
             for c, r in zip(configs, results)
+            if r is not None
         ],
     }
+    if failures:
+        deduped = {f.key: f for f in failures}
+        report["failures"] = [deduped[key].to_dict() for key in sorted(deduped)]
+    return report
 
 
 def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object]:
@@ -161,7 +222,10 @@ def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object
     Validates that every partial uses the shard format, that all agree
     on the grid and cache schema, and that the shard indexes are
     exactly ``1..N`` — then rebuilds the report from the union of runs.
-    Raises :class:`MergeError` on any inconsistency or gap.
+    Raises :class:`MergeError` on any inconsistency or gap.  A config
+    missing a result is a gap *unless* some shard quarantined it (its
+    ``"failures"`` record is then carried into the merged report) —
+    a partially-successful fleet still merges; a half-run one errors.
     """
     if not shards:
         raise MergeError("no shard reports to merge")
@@ -192,14 +256,26 @@ def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object
         raise MergeError(f"duplicate shard indexes in {indexes}")
 
     by_key: Dict[str, SimulationResult] = {}
+    failures_by_key: Dict[str, RunFailure] = {}
     for report in shards:
         for run in report["runs"]:
             config = RunConfig.from_dict(run["config"])
             by_key[config.config_hash()] = SimulationResult.from_dict(run["result"])
+        for record in report.get("failures", []):
+            failure = RunFailure.from_dict(record)
+            failures_by_key[failure.key] = failure
 
     grid = SweepGrid.from_dict(grid_dicts[0])
     configs = grid.configs()
-    missing_configs = [c for c in configs if c.config_hash() not in by_key]
+    # A key with both a result (e.g. a later shard retried it off a
+    # shared cache) and a failure record resolves to the result.
+    for key in by_key:
+        failures_by_key.pop(key, None)
+    missing_configs = [
+        c for c in configs
+        if c.config_hash() not in by_key
+        and c.config_hash() not in failures_by_key
+    ]
     if missing_configs:
         names = ", ".join(
             f"{c.benchmark_name}/{c.scheme_name}" for c in missing_configs[:8]
@@ -208,8 +284,10 @@ def merge_shard_reports(shards: Sequence[Dict[str, object]]) -> Dict[str, object
             f"{len(missing_configs)} grid config(s) missing from the shard "
             f"reports (first: {names}) — was every shard run to completion?"
         )
-    results = [by_key[c.config_hash()] for c in configs]
-    return report_from_results(grid, configs, results)
+    results = [by_key.get(c.config_hash()) for c in configs]
+    return report_from_results(
+        grid, configs, results, failures=list(failures_by_key.values())
+    )
 
 
 def report_from_cache(grid: SweepGrid, cache: ResultCache) -> Dict[str, object]:

@@ -31,6 +31,44 @@ whole sweep).  ``schedule="fifo"`` restores one-future-per-config
 submission in input order for A/B measurement.  Scheduling only
 reorders *execution*; reported results never change.
 
+Failure semantics
+-----------------
+The runner survives every failure class a real fleet hits, governed by
+a :class:`~repro.runner.faults.FailurePolicy`:
+
+* **Worker exceptions** never abort the sweep: the worker reports the
+  failing config individually (the rest of its batch completes), and
+  the parent retries it with exponential backoff and deterministic
+  jitter up to ``max_retries`` times before quarantining it.
+* **Worker death** (OOM kill, segfault — surfacing as
+  ``BrokenProcessPool``) rebuilds the pool automatically.  The dead
+  future's configs are *bisected*: re-run as halves, probed one group
+  at a time so the next crash pins blame precisely, until the poisoned
+  config is isolated, charged, and eventually quarantined.  A global
+  rebuild budget stops a crash-looping environment from spinning
+  forever.
+* **Hung runs** are bounded by ``policy.timeout``: each future gets a
+  per-run wall-clock deadline enforced by the parent (a hung
+  simulation never returns on its own); on expiry the pool is killed
+  and rebuilt, innocent in-flight work is resubmitted uncharged, and
+  the timed-out configs are retried / quarantined like crashes.
+* **Cache I/O errors** degrade, never abort: a failed record write is
+  warned about once and the sweep continues unpersisted.
+* A **quarantined** config becomes a structured
+  :class:`~repro.runner.faults.RunFailure` (config key, kind, error
+  text, attempts, wall) in :meth:`SweepRunner.run_outcomes`'s result;
+  :meth:`SweepRunner.run_many` is the strict form that raises
+  :class:`~repro.runner.faults.SweepFailure` instead — after every
+  healthy config completed, not fail-fast.
+
+Retries and timeouts never alter a result, only whether one is
+produced: a run that eventually succeeds is byte-identical to one that
+succeeded first try.  Timeout enforcement needs the pool (inline
+execution cannot interrupt itself); inline runs still retry
+exceptions.  All recovery paths are testable deterministically through
+:class:`~repro.runner.faults.FaultPlan` injection
+(``REPRO_FAULT_INJECT`` / the ``faults=`` argument).
+
 Claims
 ------
 With ``claims=True`` (and a cache configured), the runner participates
@@ -40,23 +78,32 @@ to atomically claim the key; keys claimed by a concurrent process
 instead of re-run, falling back to local execution when the peer's
 claim goes stale (``claim_ttl``) or the wait exceeds ``claim_wait``.
 Correctness never depends on claims — they only avoid duplicate work.
+Claims this runner owns are released exactly once, nonce-verified, so
+a claim released-then-reacquired by a peer is never deleted out from
+under that peer.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import heapq
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
 from .config import RunConfig
+from .faults import FailurePolicy, FaultPlan, RunFailure, SweepFailure
 from .worker import execute_config_batch, process_context
 
 __all__ = [
     "SweepRunner",
+    "SweepOutcome",
     "SweepStats",
     "SweepProgress",
     "default_workers",
@@ -90,15 +137,19 @@ class SweepStats:
     ``memory_hits`` are served from the in-process memo, ``cache_hits``
     from disk (including results stolen from a concurrent claimant),
     ``executed`` were actually simulated.  ``requested`` is the total
-    number of configs asked for (so ``requested == memory_hits +
-    cache_hits + executed`` after every call — duplicate configs inside
-    one call count as memory hits).
+    number of configs asked for, so with no failures ``requested ==
+    memory_hits + cache_hits + executed`` after every call (duplicate
+    configs inside one call count as memory hits).  ``retries`` counts
+    re-executions the failure policy scheduled; ``failed`` counts
+    configs quarantined as :class:`~repro.runner.faults.RunFailure`.
     """
 
     requested: int = 0
     memory_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retries: int = 0
+    failed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -106,6 +157,8 @@ class SweepStats:
             "memory_hits": self.memory_hits,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "retries": self.retries,
+            "failed": self.failed,
         }
 
 
@@ -117,6 +170,24 @@ class SweepProgress:
     total: int
     elapsed_seconds: float
     eta_seconds: float
+
+
+@dataclass
+class SweepOutcome:
+    """What a fault-tolerant sweep produced.
+
+    ``results[i]`` is the :class:`~repro.sim.results.SimulationResult`
+    of ``configs[i]``, or None when that config was quarantined;
+    ``failures`` holds one :class:`~repro.runner.faults.RunFailure`
+    per distinct quarantined config, in first-seen order.
+    """
+
+    results: List[Optional[SimulationResult]]
+    failures: List[RunFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 # Estimated seconds per unit of trace scale when the cache holds no
@@ -203,8 +274,18 @@ def plan_buckets(estimates: Sequence[float], n_buckets: int) -> List[List[int]]:
     return [bucket for bucket in buckets if bucket]
 
 
+@dataclass
+class _Flight:
+    """One in-flight pool future: which configs, when, and its deadline."""
+
+    indices: List[int]
+    submitted: float
+    deadline: Optional[float]
+    probe: bool = False
+
+
 class SweepRunner:
-    """Runs batches of configs with caching and optional parallelism."""
+    """Runs batches of configs with caching, parallelism and fault tolerance."""
 
     # LJF gate: below this estimated total mass the grid is too light
     # for longest-first packing to beat plain input-order submission
@@ -213,6 +294,11 @@ class SweepRunner:
     # each config at roughly ``scale * n_sms`` seconds, so any grid
     # with a handful of runs clears this comfortably.
     _LJF_MIN_MASS_SECONDS = 2.0
+
+    # Futures per worker before misses are batched (see plan_buckets).
+    # A class attribute so fault tests can force multi-config batches
+    # on tiny grids.
+    _FUTURES_PER_WORKER = 16
 
     def __init__(
         self,
@@ -225,18 +311,28 @@ class SweepRunner:
         claim_poll: float = 0.25,
         claim_wait: Optional[float] = None,
         progress: Optional[Callable[[SweepProgress], None]] = None,
+        policy: Optional[FailurePolicy] = None,
+        faults: Union[FaultPlan, str, None] = None,
     ) -> None:
         """*context* is the :class:`~repro.runner.worker.RunContext` used
         for inline execution (``workers <= 1``); it defaults to the
         process-wide one.  Pool workers always use their own process's
         context.  See the module docstring for *schedule* and the claim
         parameters; *progress* is called with a :class:`SweepProgress`
-        after every completed miss."""
+        after every completed miss.  *policy* governs retries/timeouts
+        (defaults to :class:`~repro.runner.faults.FailurePolicy`);
+        *faults* is a fault-injection plan or spec string, defaulting
+        to ``$REPRO_FAULT_INJECT`` so chaos runs need no plumbing."""
         if schedule not in ("ljf", "fifo"):
             raise ValueError(f"schedule must be 'ljf' or 'fifo', got {schedule!r}")
         self.workers = int(workers) if workers is not None else 1
+        self.policy = policy if policy is not None else FailurePolicy()
+        self.faults = (
+            FaultPlan.parse(faults) if faults is not None else FaultPlan.from_env()
+        )
         self.cache: Optional[ResultCache] = (
-            ResultCache(cache_dir) if cache_dir is not None else None
+            ResultCache(cache_dir, faults=self.faults)
+            if cache_dir is not None else None
         )
         self.stats = SweepStats()
         self.schedule = schedule
@@ -248,6 +344,7 @@ class SweepRunner:
         self._memory: Dict[str, SimulationResult] = {}
         self._context = context
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._cache_warned = False
         # Sidecar snapshot shared by the execute calls of one run_many
         # batch (claims mode executes in two waves; scan disk once).
         self._meta_scan: Optional[List[Dict[str, object]]] = None
@@ -259,7 +356,23 @@ class SweepRunner:
         return self.run_many([config])[0]
 
     def run_many(self, configs: Sequence[RunConfig]) -> List[SimulationResult]:
-        """Run every config (cache-aware, parallel); results in input order."""
+        """Run every config; results in input order.  Strict: raises
+        :class:`~repro.runner.faults.SweepFailure` if any config was
+        quarantined — but only after every healthy config completed,
+        so a retried-and-recovered sweep returns normally."""
+        outcome = self.run_outcomes(configs)
+        if outcome.failures:
+            raise SweepFailure(outcome.failures)
+        return outcome.results  # type: ignore[return-value]
+
+    def run_outcomes(self, configs: Sequence[RunConfig]) -> SweepOutcome:
+        """Run every config (cache-aware, parallel, fault-tolerant).
+
+        Never raises for per-run failures: quarantined configs come
+        back as ``None`` results plus structured ``failures`` entries.
+        Failed configs are *not* memoized — a later call retries them
+        afresh.
+        """
         configs = list(configs)
         self.stats.requested += len(configs)
         keys = [c.config_hash() for c in configs]
@@ -291,33 +404,49 @@ class SweepRunner:
         # claimant computed the result and we only read it back;
         # ``persisted`` is True when the claims path already wrote the
         # record (before releasing its claim).
+        failures: Dict[str, RunFailure] = {}
         if miss_order:
             self._meta_scan = None  # fresh sidecar snapshot per batch
             computed = self._execute([miss_config[key] for key in miss_order])
-            for key, (result, wall, persisted) in zip(miss_order, computed):
+            for key, entry in zip(miss_order, computed):
+                if isinstance(entry, RunFailure):
+                    failures[key] = entry
+                    self.stats.failed += 1
+                    continue
+                result, wall, persisted = entry
                 self._memory[key] = result
                 if wall is None:
                     self.stats.cache_hits += 1
                 else:
                     self.stats.executed += 1
                     if self.cache is not None and not persisted:
-                        self.cache.put(miss_config[key], result, wall_seconds=wall)
+                        try:
+                            self.cache.put(
+                                miss_config[key], result, wall_seconds=wall
+                            )
+                        except OSError as error:
+                            self._cache_degraded(error)
 
-        # Fill remaining slots (memo now has every key).
+        # Fill remaining slots (memo now has every surviving key).
         for i, key in enumerate(keys):
-            if results[i] is None:
+            if results[i] is None and key in self._memory:
                 results[i] = self._memory[key]
-        return results  # type: ignore[return-value]
+        return SweepOutcome(
+            results=results,
+            failures=[failures[key] for key in miss_order if key in failures],
+        )
 
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
-    # Each executed entry is (result, wall_seconds, persisted): wall is
+    # Each executed entry is (result, wall_seconds, persisted) — wall is
     # None for results stolen from a peer, persisted is True when the
-    # record already reached the cache (claims write before releasing).
+    # record already reached the cache (claims write before releasing) —
+    # or a RunFailure when the config was quarantined.
     _Executed = Tuple[SimulationResult, Optional[float], bool]
+    _Entry = Union[_Executed, RunFailure]
 
-    def _execute(self, configs: List[RunConfig]) -> List["SweepRunner._Executed"]:
+    def _execute(self, configs: List[RunConfig]) -> List["SweepRunner._Entry"]:
         if self.claims:
             return self._execute_with_claims(configs)
         return self._execute_batch(configs)
@@ -329,52 +458,295 @@ class SweepRunner:
             )
         return estimate_runtimes(configs, self._meta_scan)
 
+    def _emit_progress(self, progress: SweepProgress) -> None:
+        """Invoke the user's progress callback, defusing it on error.
+
+        A raising callback is a reporting problem, not an execution
+        problem: it is warned about once and disabled rather than
+        allowed to abort a long sweep mid-flight.
+        """
+        if self._progress is None:
+            return
+        try:
+            self._progress(progress)
+        except Exception as error:  # noqa: BLE001 — user code, contained
+            warnings.warn(
+                f"progress callback raised {type(error).__name__}: {error}; "
+                f"disabling progress reporting for this runner",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._progress = None
+
+    def _cache_degraded(self, error: OSError) -> None:
+        """Warn once that record writes are failing; results still flow."""
+        if self._cache_warned:
+            return
+        self._cache_warned = True
+        warnings.warn(
+            f"result-cache write failed ({error}); continuing without "
+            f"persisting — re-runs will recompute instead of hitting cache",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def _failure(
+        self, config: RunConfig, key: str, kind: str, error: str,
+        attempts: int, wall: float,
+    ) -> RunFailure:
+        return RunFailure(
+            key=key,
+            benchmark=config.benchmark_name,
+            scheme=config.scheme_name,
+            config=config.to_dict(),
+            kind=kind,
+            error=error,
+            attempts=attempts,
+            wall_seconds=wall,
+        )
+
     def _execute_batch(
         self, configs: List[RunConfig]
-    ) -> List["SweepRunner._Executed"]:
-        """Simulate *configs*, returning executed entries in input order."""
+    ) -> List["SweepRunner._Entry"]:
+        """Simulate *configs*, returning entries in input order."""
         n = len(configs)
-        use_pool = self.workers > 1 and n > 1
+        use_pool = self.workers > 1 and (
+            n > 1 or self.policy.timeout is not None
+        )
         # Estimates cost a sidecar scan; only pay it when something
         # consumes them (LJF bucket planning or the ETA callback).
         if self._progress is not None or (use_pool and self.schedule == "ljf"):
             estimates = self._estimates(configs)
         else:
             estimates = [0.0] * n
-        started = time.perf_counter()
-        done = 0
+        if not use_pool:
+            return self._execute_inline(configs, estimates)
+        return self._execute_pool(configs, estimates)
 
-        def tick(remaining_estimate: float) -> None:
-            if self._progress is None:
-                return
-            elapsed = time.perf_counter() - started
-            self._progress(SweepProgress(
-                done=done,
-                total=n,
-                elapsed_seconds=elapsed,
+    def _execute_inline(
+        self, configs: List[RunConfig], estimates: List[float]
+    ) -> List["SweepRunner._Entry"]:
+        """Serial in-process execution with retries (no timeout: inline
+        execution cannot interrupt itself — use workers > 1 for that)."""
+        context = self._context if self._context is not None else process_context()
+        policy = self.policy
+        plan = self.faults
+        started = time.perf_counter()
+        out: List[SweepRunner._Entry] = []
+        done = 0
+        remaining = sum(estimates)
+        for config, estimate in zip(configs, estimates):
+            key = config.config_hash()
+            attempt = 0
+            wall_total = 0.0
+            while True:
+                run_started = time.perf_counter()
+                try:
+                    if plan is not None:
+                        plan.apply(
+                            config.benchmark_name, config.scheme_name,
+                            key, attempt, allow_exit=False,
+                        )
+                    result = context.execute(config)
+                except Exception as error:  # noqa: BLE001 — retried/reported
+                    wall_total += time.perf_counter() - run_started
+                    attempt += 1
+                    if attempt >= policy.max_attempts:
+                        out.append(self._failure(
+                            config, key, "exception",
+                            f"{type(error).__name__}: {error}",
+                            attempt, wall_total,
+                        ))
+                        break
+                    self.stats.retries += 1
+                    time.sleep(policy.backoff_seconds(key, attempt))
+                    continue
+                out.append((result, time.perf_counter() - run_started, False))
+                break
+            done += 1
+            remaining -= estimate
+            self._emit_progress(SweepProgress(
+                done=done, total=len(configs),
+                elapsed_seconds=time.perf_counter() - started,
+                eta_seconds=remaining / max(1, self.workers),
+            ))
+        return out
+
+    def _execute_pool(
+        self, configs: List[RunConfig], estimates: List[float]
+    ) -> List["SweepRunner._Entry"]:
+        """Parallel execution with the full failure policy.
+
+        The orchestration loop tracks every config through exactly one
+        place at a time — an in-flight future, the retry heap, the
+        probe queue (crash bisection), the resubmission backlog, or a
+        final entry — so the loop terminates exactly when all configs
+        are resolved.  See the module docstring for the recovery
+        rules.
+        """
+        n = len(configs)
+        policy = self.policy
+        keys = [c.config_hash() for c in configs]
+        payloads = [c.to_dict() for c in configs]
+        fault_spec = self.faults.spec if self.faults is not None else None
+
+        entries: List[Optional[SweepRunner._Entry]] = [None] * n
+        attempts = [0] * n  # failed attempts charged so far, per config
+        fail_wall = [0.0] * n
+        started = time.perf_counter()
+        done_count = 0
+        remaining_estimate = sum(estimates)
+
+        pending: Dict[concurrent.futures.Future, _Flight] = {}
+        retry_heap: List[Tuple[float, int]] = []  # (ready time, index)
+        probe_queue: deque = deque()  # suspect groups, probed one at a time
+        backlog: deque = deque()  # innocent groups awaiting resubmission
+        rebuilds = 0
+        # Enough rebuilds for every config to crash out individually,
+        # with bisection overhead; beyond this the environment itself
+        # is killing workers and retrying is harm, not help.
+        rebuild_budget = max(8, 2 * policy.max_attempts * n)
+
+        def tick() -> None:
+            self._emit_progress(SweepProgress(
+                done=done_count, total=n,
+                elapsed_seconds=time.perf_counter() - started,
                 eta_seconds=remaining_estimate / max(1, self.workers),
             ))
 
-        if not use_pool:
-            context = self._context if self._context is not None else process_context()
-            out: List[SweepRunner._Executed] = []
-            remaining = sum(estimates)
-            for config, estimate in zip(configs, estimates):
-                run_started = time.perf_counter()
-                result = context.execute(config)
-                out.append((result, time.perf_counter() - run_started, False))
-                done += 1
-                remaining -= estimate
-                tick(remaining)
-            return out
-
-        # The pool persists across run_many calls, so each worker's
-        # RunContext keeps amortizing workload/scheme/RMP-profile
-        # construction over the whole runner lifetime, not one batch.
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers
+        def finish_ok(i: int, payload: Dict[str, object]) -> None:
+            nonlocal done_count, remaining_estimate
+            entries[i] = (
+                SimulationResult.from_dict(payload["result"]),
+                float(payload["wall_seconds"]),
+                False,
             )
+            done_count += 1
+            remaining_estimate -= estimates[i]
+
+        def charge(i: int, kind: str, error: str, wall: float) -> None:
+            """One failed attempt of config *i*: retry or quarantine."""
+            nonlocal done_count, remaining_estimate
+            attempts[i] += 1
+            fail_wall[i] += wall
+            if attempts[i] >= policy.max_attempts:
+                entries[i] = self._failure(
+                    configs[i], keys[i], kind, error, attempts[i], fail_wall[i]
+                )
+                done_count += 1
+                remaining_estimate -= estimates[i]
+            else:
+                self.stats.retries += 1
+                ready = time.monotonic() + policy.backoff_seconds(
+                    keys[i], attempts[i]
+                )
+                heapq.heappush(retry_heap, (ready, i))
+
+        def process_payloads(flight: _Flight, items: List[Dict[str, object]]) -> None:
+            for i, payload in zip(flight.indices, items):
+                if "error" in payload:
+                    charge(
+                        i, "exception", str(payload["error"]),
+                        float(payload.get("wall_seconds", 0.0)),
+                    )
+                else:
+                    finish_ok(i, payload)
+            tick()
+
+        def group_failure(indices: List[int], kind: str, error: str,
+                          wall: float) -> None:
+            """A future died wholesale: bisect to pin blame, or charge.
+
+            A single-config future identifies its culprit exactly; a
+            batch is split into halves probed one at a time, so the
+            next crash narrows the suspect set by half (log2 probes to
+            isolate one poison config from a batch).
+            """
+            alive = [i for i in indices if entries[i] is None]
+            if not alive:
+                return
+            if len(alive) == 1:
+                charge(alive[0], kind, error, wall)
+                tick()
+                return
+            mid = len(alive) // 2
+            probe_queue.appendleft(alive[mid:])
+            probe_queue.appendleft(alive[:mid])
+
+        def kill_pool() -> None:
+            nonlocal rebuilds
+            rebuilds += 1
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return
+            # Hung or wedged workers never drain the task queue, so a
+            # plain shutdown would wait forever: terminate first.
+            for proc in list(getattr(pool, "_processes", {}).values() or []):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 — already-dead is fine
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def harvest_pending() -> List[_Flight]:
+            """Collect finished futures' results; return unfinished flights."""
+            unfinished = []
+            for future, flight in list(pending.items()):
+                if (
+                    future.done() and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    process_payloads(flight, future.result())
+                else:
+                    unfinished.append(flight)
+            pending.clear()
+            return unfinished
+
+        def exhaust_budget() -> None:
+            """Too many rebuilds: quarantine everything unresolved."""
+            nonlocal done_count
+            probe_queue.clear()
+            backlog.clear()
+            retry_heap.clear()
+            for i in range(n):
+                if entries[i] is None:
+                    entries[i] = self._failure(
+                        configs[i], keys[i], "worker-crash",
+                        f"pool rebuild budget exhausted after {rebuilds} "
+                        f"rebuilds — workers are dying faster than runs "
+                        f"complete",
+                        attempts[i] + 1, fail_wall[i],
+                    )
+                    done_count += 1
+            tick()
+
+        def submit(indices: List[int], probe: bool = False) -> bool:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            try:
+                future = self._pool.submit(
+                    execute_config_batch,
+                    [payloads[i] for i in indices],
+                    fault_spec,
+                    [attempts[i] for i in indices],
+                )
+            except BrokenProcessPool:
+                # Pool died between our last observation and this
+                # submit: recycle it and let the caller re-queue.
+                kill_pool()
+                return False
+            now = time.monotonic()
+            budget = policy.deadline_seconds(len(indices))
+            pending[future] = _Flight(
+                indices=list(indices), submitted=now,
+                deadline=(now + budget) if budget is not None else None,
+                probe=probe,
+            )
+            return True
+
+        # -- initial submission ------------------------------------------
         if self.schedule == "fifo" or (
             sum(estimates) < self._LJF_MIN_MASS_SECONDS
         ):
@@ -390,64 +762,195 @@ class SweepRunner:
             # then absorbs any estimate error); above ~16 futures per
             # worker, batch to cap executor IPC.  Either way jobs are
             # packed longest-first, so the heaviest runs start first.
-            buckets = plan_buckets(estimates, self.workers * 16)
-        futures = {
-            self._pool.submit(
-                execute_config_batch, [configs[i].to_dict() for i in bucket]
-            ): bucket
-            for bucket in buckets
-        }
-        results: List[Optional[SweepRunner._Executed]] = [None] * n
-        remaining = sum(estimates)
-        for future in concurrent.futures.as_completed(futures):
-            bucket = futures[future]
-            for i, payload in zip(bucket, future.result()):
-                results[i] = (
-                    SimulationResult.from_dict(payload["result"]),
-                    float(payload["wall_seconds"]),
-                    False,
+            buckets = plan_buckets(estimates, self.workers * self._FUTURES_PER_WORKER)
+        backlog.extend(buckets)
+
+        # -- orchestration loop ------------------------------------------
+        while True:
+            if rebuilds > rebuild_budget:
+                exhaust_budget()
+                break
+            now = time.monotonic()
+            probing = bool(probe_queue) or any(
+                flight.probe for flight in pending.values()
+            )
+            if probing:
+                # Crash forensics: exactly one future in flight, so the
+                # next pool break attributes blame to that probe alone.
+                if not pending and probe_queue:
+                    group = probe_queue.popleft()
+                    if not submit(group, probe=True):
+                        probe_queue.appendleft(group)
+            else:
+                while backlog:
+                    group = backlog.popleft()
+                    if not submit(group):
+                        backlog.appendleft(group)
+                        break
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, i = heapq.heappop(retry_heap)
+                    if entries[i] is not None:
+                        continue
+                    if not submit([i]):
+                        heapq.heappush(retry_heap, (now, i))
+                        break
+
+            if not pending:
+                if probe_queue or backlog:
+                    continue  # submit() recycled the pool; try again
+                if retry_heap:
+                    time.sleep(
+                        min(0.2, max(0.0, retry_heap[0][0] - time.monotonic()))
+                    )
+                    continue
+                break  # everything resolved
+
+            # How long may we block?  Until the nearest deadline or the
+            # nearest retry becoming ready, whichever comes first.
+            wait_timeout: Optional[float] = None
+            horizons = [
+                flight.deadline for flight in pending.values()
+                if flight.deadline is not None
+            ]
+            if retry_heap and not probing:
+                horizons.append(retry_heap[0][0])
+            if horizons:
+                wait_timeout = max(0.0, min(horizons) - time.monotonic())
+            done, _ = concurrent.futures.wait(
+                list(pending), timeout=wait_timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+
+            pool_broke = False
+            for future in done:
+                flight = pending.pop(future)
+                try:
+                    items = future.result()
+                except (BrokenProcessPool, concurrent.futures.BrokenExecutor):
+                    pool_broke = True
+                    pending[future] = flight  # reclassified by harvest below
+                except Exception as error:  # noqa: BLE001 — infra failure
+                    # The future failed without killing the pool
+                    # (pickling error, spec rejected by the worker...).
+                    group_failure(
+                        flight.indices, "worker-crash",
+                        f"{type(error).__name__}: {error}",
+                        time.monotonic() - flight.submitted,
+                    )
+                else:
+                    process_payloads(flight, items)
+
+            if pool_broke:
+                # A worker died; every unfinished future is suspect
+                # (the executor fails them all).  Harvest what did
+                # finish, rebuild the pool, and bisect the union.
+                suspects = harvest_pending()
+                kill_pool()
+                if rebuilds > rebuild_budget:
+                    exhaust_budget()
+                    break
+                union = [i for flight in suspects for i in flight.indices]
+                group_failure(
+                    union, "worker-crash",
+                    "worker process died (BrokenProcessPool)",
+                    0.0,
                 )
-                done += 1
-                remaining -= estimates[i]
-            tick(remaining)
-        return results  # type: ignore[return-value]
+                continue
+
+            now = time.monotonic()
+            expired = [
+                flight for flight in pending.values()
+                if flight.deadline is not None and now >= flight.deadline
+            ]
+            if expired:
+                # A worker is hung past its wall-clock budget.  The
+                # expired future names its suspects precisely; other
+                # in-flight work is innocent but shares the pool we
+                # must kill, so it is resubmitted uncharged.
+                unfinished = harvest_pending()
+                kill_pool()
+                if rebuilds > rebuild_budget:
+                    exhaust_budget()
+                    break
+                expired_ids = {id(flight) for flight in expired}
+                for flight in unfinished:
+                    alive = [i for i in flight.indices if entries[i] is None]
+                    if not alive:
+                        continue
+                    if id(flight) in expired_ids:
+                        group_failure(
+                            alive, "timeout",
+                            f"run exceeded the {policy.timeout}s wall-clock "
+                            f"timeout",
+                            now - flight.submitted,
+                        )
+                    else:
+                        backlog.append(alive)
+
+        return entries  # type: ignore[return-value]
 
     def _execute_with_claims(
         self, configs: List[RunConfig]
-    ) -> List["SweepRunner._Executed"]:
+    ) -> List["SweepRunner._Entry"]:
         """Claim-aware execution: run what we claim, poll what peers hold."""
         assert self.cache is not None
         n = len(configs)
         keys = [c.config_hash() for c in configs]
-        results: List[Optional[SweepRunner._Executed]] = [None] * n
+        results: List[Optional[SweepRunner._Entry]] = [None] * n
 
         owned: List[int] = []
         deferred: List[int] = []
+        nonces: Dict[str, str] = {}
         for i, key in enumerate(keys):
-            if self.cache.try_claim(key):
+            nonce = self.cache.try_claim(key)
+            if not nonce:
+                # Dead peer: a stale claim is atomically replaced.
+                nonce = self.cache.take_over_claim(key, self.claim_ttl)
+            if nonce:
                 owned.append(i)
-            elif self.cache.take_over_claim(key, self.claim_ttl):
-                # Dead peer: the stale claim was atomically replaced.
-                owned.append(i)
+                nonces[key] = nonce
             else:
                 deferred.append(i)
 
         if owned:
+            released: set = set()
             try:
                 computed = self._execute_batch([configs[i] for i in owned])
-                for i, (result, wall, _) in zip(owned, computed):
+                for i, entry in zip(owned, computed):
+                    key = keys[i]
+                    if isinstance(entry, RunFailure):
+                        # No record will ever appear for this key: drop
+                        # the claim now so polling peers stop waiting
+                        # and take the work over (their own policy may
+                        # still succeed where ours quarantined).
+                        self.cache.release_claim(key, nonces[key])
+                        released.add(key)
+                        results[i] = entry
+                        continue
+                    result, wall, _ = entry
                     # Persist each record *before* releasing its claim:
                     # a peer polling this key must never see the claim
                     # vanish while the record is still missing, or it
                     # would conclude we died and re-run the config.
-                    self.cache.put(configs[i], result, wall_seconds=wall)
-                    self.cache.release_claim(keys[i])
-                    results[i] = (result, wall, True)
+                    persisted = True
+                    try:
+                        self.cache.put(configs[i], result, wall_seconds=wall)
+                    except OSError as error:
+                        persisted = False
+                        self._cache_degraded(error)
+                    self.cache.release_claim(key, nonces[key])
+                    released.add(key)
+                    results[i] = (result, wall, persisted)
             finally:
                 # On an execution error the unfinished claims are
-                # dropped (no record): peers take the work over.
+                # dropped (no record): peers take the work over.  Only
+                # claims still held are released — an unconditional
+                # re-release here could delete a *new* peer's claim
+                # for a key we already released above (the nonce check
+                # guards the same race at the file level).
                 for i in owned:
-                    self.cache.release_claim(keys[i])
+                    if keys[i] not in released:
+                        self.cache.release_claim(keys[i], nonces[keys[i]])
 
         # Poll for the configs a peer is computing; take over when the
         # claim goes stale or the wait budget runs out.  Correctness
@@ -472,8 +975,8 @@ class SweepRunner:
                     time.sleep(self.claim_poll)
             if pending:
                 computed = self._execute_batch([configs[i] for i in pending])
-                for i, pair in zip(pending, computed):
-                    results[i] = pair
+                for i, entry in zip(pending, computed):
+                    results[i] = entry
         return results  # type: ignore[return-value]
 
     def close(self) -> None:
@@ -481,6 +984,15 @@ class SweepRunner:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Always release the pool, success or error: a leaked
+        # ProcessPoolExecutor keeps worker processes alive until
+        # interpreter exit.
+        self.close()
 
     # ------------------------------------------------------------------
     # Accounting

@@ -214,6 +214,8 @@ def execute_config(config_data: Dict[str, object]) -> Dict[str, object]:
 
 def execute_config_batch(
     payloads: Sequence[Dict[str, object]],
+    fault_spec: Optional[str] = None,
+    attempts: Optional[Sequence[int]] = None,
 ) -> List[Dict[str, object]]:
     """Pool entry point: run a batch of configs in one task.
 
@@ -222,13 +224,44 @@ def execute_config_batch(
     the returned list carries the result dict plus the measured wall
     seconds, which the caller records into the cache's runtime-metadata
     sidecar to drive longest-job-first scheduling of future sweeps.
+
+    Failure semantics: an exception from one config never loses the
+    rest of the batch — the failing item comes back as ``{"error":
+    ..., "error_type": ..., "wall_seconds": ...}`` and execution moves
+    on, so the parent can retry or quarantine exactly the config that
+    failed.  Only a process-killing fault (OOM, an injected ``exit``)
+    takes the whole batch down, and the parent then bisects it.
+
+    *fault_spec* is a :class:`~repro.runner.faults.FaultPlan` spec
+    string (it crosses the process boundary; plan objects do not) and
+    *attempts* the parent's 0-based attempt counter per config, which
+    ``times=N`` fault clauses count against.  Without a spec the
+    ``REPRO_FAULT_INJECT`` environment variable still applies, so CLI
+    chaos smoke runs need no plumbing.
     """
+    from .faults import FaultPlan  # worker import kept lazy & cycle-free
+
     context = process_context()
+    plan = FaultPlan.parse(fault_spec) if fault_spec else FaultPlan.from_env()
     out: List[Dict[str, object]] = []
-    for data in payloads:
+    for index, data in enumerate(payloads):
         config = RunConfig.from_dict(data)
+        attempt = int(attempts[index]) if attempts is not None else 0
         started = time.perf_counter()
-        result = context.execute(config)
+        try:
+            if plan is not None:
+                plan.apply(
+                    config.benchmark_name, config.scheme_name,
+                    config.config_hash(), attempt,
+                )
+            result = context.execute(config)
+        except Exception as error:  # noqa: BLE001 — reported, not hidden
+            out.append({
+                "error": f"{type(error).__name__}: {error}",
+                "error_type": type(error).__name__,
+                "wall_seconds": time.perf_counter() - started,
+            })
+            continue
         out.append({
             "result": result.to_dict(),
             "wall_seconds": time.perf_counter() - started,

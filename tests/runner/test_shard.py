@@ -313,7 +313,9 @@ class TestClaims:
         orig_release = runner.cache.release_claim
         runner.cache.put = lambda *a, **k: (events.append("put"), orig_put(*a, **k))[1]
         runner.cache.release_claim = (
-            lambda key: (events.append("release"), orig_release(key))[1]
+            lambda key, nonce=None: (
+                events.append("release"), orig_release(key, nonce)
+            )[1]
         )
         runner.run_one(self.CONFIG)
         assert events.index("put") < events.index("release")
