@@ -2,4 +2,9 @@
 
 from .cli import main
 
-raise SystemExit(main())
+try:
+    raise SystemExit(main())
+except KeyboardInterrupt:
+    # Long-lived commands (``repro serve``) end with Ctrl-C in normal
+    # operation; exit with the conventional SIGINT status, no traceback.
+    raise SystemExit(130)

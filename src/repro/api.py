@@ -52,6 +52,7 @@ from .specs import ScenarioSpec, SchemeSpec, WorkloadSpec
 __all__ = [
     "simulate",
     "sweep",
+    "scenario_grid",
     "entropy_profile",
     "compare",
     "run_matrix",
@@ -197,6 +198,29 @@ def run_matrix(
     return dict(zip(keys, results))
 
 
+def scenario_grid(
+    scenario: Union[ScenarioSpec, SweepGrid, dict]
+) -> SweepGrid:
+    """Normalize any accepted scenario form to a :class:`SweepGrid`.
+
+    The single coercion every sweep entry point shares — :func:`sweep`
+    here, ``repro sweep --spec`` and the ``repro serve`` job intake all
+    accept the same three shapes and must keep meaning the same thing:
+    a ready grid, a :class:`~repro.specs.ScenarioSpec`, or a scenario
+    dict (e.g. ``json.load`` of a spec file / an HTTP request body).
+    """
+    if isinstance(scenario, SweepGrid):
+        return scenario
+    if isinstance(scenario, ScenarioSpec):
+        return scenario.grid()
+    if isinstance(scenario, dict):
+        return ScenarioSpec.from_dict(scenario).grid()
+    raise TypeError(
+        f"scenario must be a ScenarioSpec, SweepGrid or dict, got "
+        f"{type(scenario).__name__}"
+    )
+
+
 def sweep(
     scenario: Optional[Union[ScenarioSpec, SweepGrid, dict]] = None,
     *,
@@ -232,17 +256,7 @@ def sweep(
     (retries, timeout) for the facade-created runner.
     """
     if scenario is not None:
-        if isinstance(scenario, SweepGrid):
-            grid = scenario
-        elif isinstance(scenario, ScenarioSpec):
-            grid = scenario.grid()
-        elif isinstance(scenario, dict):
-            grid = ScenarioSpec.from_dict(scenario).grid()
-        else:
-            raise TypeError(
-                f"scenario must be a ScenarioSpec, SweepGrid or dict, got "
-                f"{type(scenario).__name__}"
-            )
+        grid = scenario_grid(scenario)
     else:
         axes = dict(
             seeds=tuple(seeds), n_sms=tuple(n_sms),

@@ -27,8 +27,17 @@ Commands
     grid flags / ``--spec`` — into a full report byte-identical to an
     unsharded ``repro sweep`` of the same grid.
 ``cache``
-    Inspect (``ls``) or evict stale schema versions from (``prune``)
-    an on-disk result cache.
+    Inspect (``ls``, with ``--json`` for machine-readable output) or
+    evict stale schema versions from (``prune``) an on-disk result
+    cache.
+``serve``
+    Run the sweep-as-a-service HTTP server (:mod:`repro.serve`): a
+    warm runner pool shared across requests, async jobs, request
+    coalescing, and per-tenant cache namespaces with quotas.
+``submit``
+    Submit the grid the flags describe to a running ``repro serve``
+    (via :mod:`repro.client`), wait, and write the report — the remote
+    twin of ``sweep``, with the same output and exit codes.
 ``profile``
     Run one configuration under :mod:`cProfile` (inline, no cache) and
     print the hottest functions, so perf work starts from a measured
@@ -62,7 +71,9 @@ Examples
     python -m repro sweep --spec scenario.json -o report.json
     python -m repro sweep --shard 1/4 --cache-dir /shared -o shard1.json
     python -m repro merge shard*.json -o report.json
-    python -m repro cache ls --cache-dir .repro-cache
+    python -m repro cache ls --cache-dir .repro-cache --json
+    python -m repro serve --port 0 --workers 2 --tenant-max-bytes 10000000
+    python -m repro submit --server http://127.0.0.1:8731 --benchmarks MT,SP
     python -m repro export-scheme PAE --seed 1 -o pae.json
     python -m repro import-scheme pae.json -o pae.spec.json
 """
@@ -351,6 +362,24 @@ def _cmd_merge(args) -> int:
 def _cmd_cache_ls(args) -> int:
     cache = ResultCache(args.cache_dir)
     entries = cache.entries()
+    if getattr(args, "json", False):
+        # Machine-readable form for dashboards / quota scripts: every
+        # record plus the totals, deterministically ordered by key.
+        walls = [e.wall_seconds for e in entries if e.wall_seconds is not None]
+        document = {
+            "root": str(cache.root),
+            "current_schema": CACHE_SCHEMA_VERSION,
+            "totals": {
+                "entries": len(entries),
+                "bytes": sum(e.size_bytes for e in entries),
+                "wall_seconds": round(sum(walls), 6),
+            },
+            "entries": [
+                e.to_dict() for e in sorted(entries, key=lambda e: e.key)
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     by_schema = {}
     for entry in entries:
         by_schema.setdefault(entry.schema, []).append(entry)
@@ -406,6 +435,82 @@ def _cmd_cache_prune(args) -> int:
     removed, kept = cache.prune(schema_versions=versions, stale=args.stale)
     print(f"pruned {removed} record(s), kept {kept} ({cache.root})")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the sweep-as-a-service HTTP server in the foreground."""
+    import asyncio
+
+    from .serve import ReproServer, TenantQuota
+
+    workers = args.workers if args.workers > 0 else default_workers()
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=workers,
+        runners=args.runners,
+        max_jobs=args.max_jobs,
+        cache_dir=args.cache_dir if args.cache_dir else None,
+        quota=TenantQuota(
+            max_bytes=args.tenant_max_bytes,
+            max_entries=args.tenant_max_entries,
+            max_jobs=args.tenant_max_jobs,
+        ),
+        policy=FailurePolicy(
+            max_retries=args.max_retries,
+            timeout=args.timeout if args.timeout > 0 else None,
+        ),
+        claims=args.claims,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        # Port file first, announce line second: launchers wait for the
+        # line and then read the file, so this order leaves no race.
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{server.port}\n")
+        print(f"repro serve listening on {server.url}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.close(wait=False)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit a sweep to a running server and (by default) wait for it."""
+    from .client import ReproClient
+
+    _apply_registrations(args)
+    grid = _grid_from_args(args)
+    client = ReproClient(
+        args.server, tenant=args.tenant or None, timeout=args.http_timeout
+    )
+    job = client.submit(grid.to_dict())
+    job_id = job["id"]
+    print(f"submitted {job_id} ({job['state']})", file=sys.stderr)
+    if args.no_wait:
+        print(job_id)
+        return 0
+    status = client.wait(
+        job_id,
+        timeout=args.wait_timeout if args.wait_timeout > 0 else None,
+        poll_seconds=args.poll,
+    )
+    state = status.get("state")
+    if state == "failed":
+        print(f"error: job {job_id} failed: {status.get('error')}",
+              file=sys.stderr)
+        return 2
+    _write_report(client.report_text(job_id), args.output)
+    # Same partial-success contract as a local `repro sweep`: exit 3
+    # and a stderr summary when any config was quarantined server-side.
+    return _print_failures(client.report(job_id), "submit")
 
 
 def _cmd_profile(args) -> int:
@@ -626,6 +731,11 @@ def build_parser() -> argparse.ArgumentParser:
         "ls", help="summarize cache entries by schema version"
     )
     p_ls.add_argument("--cache-dir", default=".repro-cache")
+    p_ls.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON (per-entry key, size, schema, "
+             "wall seconds, mtime, plus totals) instead of the table",
+    )
     p_ls.set_defaults(func=_cmd_cache_ls)
     p_prune = cache_sub.add_parser(
         "prune", help="evict records from stale cache schema versions"
@@ -640,6 +750,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict everything not produced by the current schema version",
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP server (see repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8731,
+        help="TCP port; 0 binds an ephemeral port, announced on stdout "
+             "(default: 8731)",
+    )
+    p.add_argument(
+        "--port-file", default="",
+        help="also write the bound port to this file (for launchers "
+             "using --port 0)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per runner; 0 = one per CPU or "
+             "$REPRO_WORKERS (default: 1)",
+    )
+    p.add_argument(
+        "--runners", type=int, default=1,
+        help="warm SweepRunner instances in the pool — at most "
+             "runners x workers simulations run at once (default: 1)",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=8,
+        help="jobs executing concurrently server-wide; excess queue "
+             "(default: 8)",
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cache root; each tenant gets <root>/<tenant>/ — pass '' "
+             "to disable persistence (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--tenant-max-bytes", type=int, default=0,
+        help="per-tenant cache namespace byte quota, enforced after "
+             "every job by oldest-first eviction; 0 = unlimited (default)",
+    )
+    p.add_argument(
+        "--tenant-max-entries", type=int, default=0,
+        help="per-tenant cache namespace record quota; 0 = unlimited "
+             "(default)",
+    )
+    p.add_argument(
+        "--tenant-max-jobs", type=int, default=0,
+        help="per-tenant concurrent-job limit (HTTP 429 beyond it); "
+             "0 = unlimited (default)",
+    )
+    p.add_argument(
+        "--claims", action="store_true",
+        help="use cache claim files (for a cache root shared with "
+             "external sweeps)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-run wall-clock timeout in seconds; 0 = none (default)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-executions before a config is quarantined (default: 2)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running 'repro serve' and fetch the report",
+    )
+    add_grid_args(p)
+    p.add_argument(
+        "--server", required=True, metavar="URL",
+        help="base URL of the server, e.g. http://127.0.0.1:8731",
+    )
+    p.add_argument(
+        "--tenant", default="",
+        help="cache namespace, sent as the X-Repro-Tenant header "
+             "(default: the server's shared namespace)",
+    )
+    p.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of waiting for the report",
+    )
+    p.add_argument(
+        "--wait-timeout", type=float, default=0.0,
+        help="give up waiting after this many seconds (the job keeps "
+             "running server-side); 0 = wait forever (default)",
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.25,
+        help="status poll interval in seconds (default: 0.25)",
+    )
+    p.add_argument(
+        "--http-timeout", type=float, default=30.0,
+        help="per-request HTTP timeout in seconds (default: 30)",
+    )
+    p.add_argument(
+        "-o", "--output", default="-",
+        help="report path, or - for stdout (default: -)",
+    )
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "profile",

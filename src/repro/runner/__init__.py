@@ -143,6 +143,7 @@ from .sweep import (
     SweepProgress,
     SweepRunner,
     SweepStats,
+    coerce_workers,
     default_workers,
     estimate_runtimes,
     plan_buckets,
@@ -172,6 +173,7 @@ __all__ = [
     "SweepProgress",
     "SweepRunner",
     "SweepStats",
+    "coerce_workers",
     "default_workers",
     "estimate_runtimes",
     "execute_config",

@@ -81,7 +81,12 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One record as seen by ``repro cache ls`` (metadata may be absent)."""
+    """One record as seen by ``repro cache ls`` (metadata may be absent).
+
+    ``mtime`` is the record file's modification time — advisory, used
+    only for oldest-first quota eviction and operator listings, never
+    for correctness.
+    """
 
     key: str
     path: Path
@@ -90,6 +95,19 @@ class CacheEntry:
     wall_seconds: Optional[float]
     benchmark: Optional[str]
     scheme: Optional[str]
+    mtime: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (``repro cache ls --json``, quota accounting)."""
+        return {
+            "key": self.key,
+            "size_bytes": self.size_bytes,
+            "schema": self.schema,
+            "wall_seconds": self.wall_seconds,
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "mtime": self.mtime,
+        }
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -289,16 +307,32 @@ class ResultCache:
             if not isinstance(schema, int):
                 schema = self.schema_of(key)
             wall = meta.get("wall_seconds")
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent prune/evict
             out.append(CacheEntry(
                 key=key,
                 path=path,
-                size_bytes=path.stat().st_size,
+                size_bytes=stat.st_size,
                 schema=schema,
                 wall_seconds=float(wall) if wall is not None else None,
                 benchmark=meta.get("benchmark"),
                 scheme=meta.get("scheme"),
+                mtime=stat.st_mtime,
             ))
         return out
+
+    def usage(self) -> Dict[str, int]:
+        """Total footprint: ``{"entries": N, "bytes": B}`` (records only)."""
+        entries = bytes_total = 0
+        for path in self._record_paths():
+            try:
+                bytes_total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {"entries": entries, "bytes": bytes_total}
 
     def remove(self, key: str) -> None:
         """Delete the record, sidecar and claim for *key* (if present)."""

@@ -106,10 +106,46 @@ __all__ = [
     "SweepOutcome",
     "SweepStats",
     "SweepProgress",
+    "coerce_workers",
     "default_workers",
     "estimate_runtimes",
     "plan_buckets",
 ]
+
+
+def coerce_workers(value, source: str = "workers") -> int:
+    """A validated worker count from any plausible input.
+
+    One coercion for every path a worker count enters the system —
+    the ``SweepRunner(workers=...)`` argument, ``$REPRO_WORKERS``, and
+    server flags — so they all agree: non-integer values (``"4x"``,
+    ``2.5``, ``True``) are rejected with a message naming *source*;
+    non-positive integers clamp to 1 (serial inline execution), since
+    "no parallelism" is what zero workers can only mean.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{source} must be an integer, got {value!r}")
+    if isinstance(value, int):
+        count = value
+    elif isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(
+                f"{source} must be a whole number of worker processes, "
+                f"got {value!r}"
+            )
+        count = int(value)
+    elif isinstance(value, str):
+        try:
+            count = int(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"{source} must be an integer, got {value!r}"
+            ) from None
+    else:
+        raise ValueError(
+            f"{source} must be an integer, got {type(value).__name__}"
+        )
+    return max(1, count)
 
 
 def default_workers() -> int:
@@ -121,12 +157,7 @@ def default_workers() -> int:
     """
     env = os.environ.get("REPRO_WORKERS", "").strip()
     if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            raise ValueError(
-                f"REPRO_WORKERS must be an integer, got {env!r}"
-            ) from None
+        return coerce_workers(env, source="REPRO_WORKERS")
     return max(1, os.cpu_count() or 1)
 
 
@@ -325,7 +356,7 @@ class SweepRunner:
         to ``$REPRO_FAULT_INJECT`` so chaos runs need no plumbing."""
         if schedule not in ("ljf", "fifo"):
             raise ValueError(f"schedule must be 'ljf' or 'fifo', got {schedule!r}")
-        self.workers = int(workers) if workers is not None else 1
+        self.workers = coerce_workers(workers) if workers is not None else 1
         self.policy = policy if policy is not None else FailurePolicy()
         self.faults = (
             FaultPlan.parse(faults) if faults is not None else FaultPlan.from_env()

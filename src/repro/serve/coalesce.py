@@ -1,0 +1,127 @@
+"""In-process request coalescing: the single-flight table.
+
+Concurrent jobs frequently overlap — a thundering herd of clients
+submitting the same scenario, or grids sharing their BASE baselines.
+Every config is already deduplicated *within* one runner call (the
+runner memo) and *across processes* by the cache claim protocol; this
+module closes the remaining gap, **between concurrent jobs inside one
+server process**, where two jobs checked out onto different warm
+runners would otherwise both simulate the same config.
+
+The table is keyed by the same canonical cache key the runner and the
+on-disk cache use (:meth:`~repro.runner.config.RunConfig.config_hash`),
+so "identical config" means exactly what it means everywhere else in
+the stack.  For each key the first job to arrive becomes the
+**leader** and executes; every later arrival becomes a **follower**
+and blocks on the leader's published outcome instead of re-running.
+Publication is mandatory: leaders publish in a ``finally`` block (a
+crashed leader publishes a failure), so followers never hang on a
+dead flight.
+
+Coalescing is an optimization with the same contract as the cache:
+results are pure functions of their config, so a follower's report is
+byte-identical to the one it would have computed itself.  The table
+holds only *in-flight* keys — a completed flight is removed, and
+repeat queries are served by the runner memo / disk cache instead —
+so its memory footprint is bounded by concurrency, not history.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..runner.faults import RunFailure
+from ..sim.results import SimulationResult
+
+__all__ = ["Flight", "SingleFlight", "FlightOutcome"]
+
+# What a flight resolves to: a result, or the leader's structured
+# failure record (quarantine or internal error).
+FlightOutcome = Union[SimulationResult, RunFailure]
+
+
+@dataclass
+class Flight:
+    """One in-flight config: the leader computes, followers wait."""
+
+    key: str
+    _done: threading.Event = field(default_factory=threading.Event)
+    _outcome: Optional[FlightOutcome] = None
+    followers: int = 0
+
+    def publish(self, outcome: FlightOutcome) -> None:
+        """Resolve the flight and wake every follower (idempotent)."""
+        if not self._done.is_set():
+            self._outcome = outcome
+            self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> FlightOutcome:
+        """Block until the leader publishes; raise on *timeout* expiry."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"coalesced flight {self.key[:16]} never resolved within "
+                f"{timeout}s — leader died without publishing?"
+            )
+        assert self._outcome is not None
+        return self._outcome
+
+
+@dataclass
+class CoalesceStats:
+    """Accounting: how much duplicate work the table absorbed."""
+
+    leaders: int = 0
+    coalesced: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"leaders": self.leaders, "coalesced": self.coalesced}
+
+
+class SingleFlight:
+    """The process-wide table of in-flight config keys.
+
+    Thread-safe; one instance is shared by every job of a server.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+        self.stats = CoalesceStats()
+
+    def begin(self, key: str) -> Tuple[Flight, bool]:
+        """Join the flight for *key*; returns ``(flight, is_leader)``.
+
+        The first caller per key leads and **must** eventually call
+        :meth:`finish` with an outcome (use ``try/finally``); later
+        callers follow and should :meth:`Flight.wait`.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                self.stats.coalesced += 1
+                return flight, False
+            flight = Flight(key=key)
+            self._flights[key] = flight
+            self.stats.leaders += 1
+            return flight, True
+
+    def finish(self, flight: Flight, outcome: FlightOutcome) -> None:
+        """Leader-side: publish *outcome* and retire the flight.
+
+        The key leaves the table before followers are woken, so a new
+        request arriving after completion starts a fresh flight (and
+        is then served instantly by the runner memo or disk cache)
+        rather than reading a stale entry forever.
+        """
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        flight.publish(outcome)
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)

@@ -1,0 +1,82 @@
+"""Unit tests for the single-flight request-coalescing table."""
+
+import threading
+
+import pytest
+
+from repro.serve.coalesce import Flight, SingleFlight
+
+
+def test_first_caller_leads_later_callers_follow():
+    table = SingleFlight()
+    flight, is_leader = table.begin("k1")
+    assert is_leader
+    again, second_leads = table.begin("k1")
+    assert not second_leads
+    assert again is flight
+    assert flight.followers == 1
+    assert table.in_flight() == 1
+
+
+def test_finish_publishes_to_followers_and_retires_the_key():
+    table = SingleFlight()
+    flight, _ = table.begin("k1")
+    follower, is_leader = table.begin("k1")
+    assert not is_leader
+    table.finish(flight, "outcome")
+    assert follower.wait(timeout=1) == "outcome"
+    # The key left the table, so the next arrival starts a new flight.
+    assert table.in_flight() == 0
+    fresh, leads = table.begin("k1")
+    assert leads
+    assert fresh is not flight
+    table.finish(fresh, "other")
+
+
+def test_follower_blocks_until_leader_publishes():
+    table = SingleFlight()
+    flight, _ = table.begin("k1")
+    follower, _ = table.begin("k1")
+    seen = []
+
+    def wait():
+        seen.append(follower.wait(timeout=5))
+
+    thread = threading.Thread(target=wait)
+    thread.start()
+    assert not seen  # still parked on the event
+    table.finish(flight, 42)
+    thread.join(timeout=5)
+    assert seen == [42]
+
+
+def test_wait_timeout_raises():
+    flight = Flight(key="dead")
+    with pytest.raises(TimeoutError, match="never resolved"):
+        flight.wait(timeout=0.01)
+
+
+def test_publish_is_idempotent_first_outcome_wins():
+    flight = Flight(key="k")
+    flight.publish("first")
+    flight.publish("second")
+    assert flight.wait(timeout=1) == "first"
+
+
+def test_distinct_keys_do_not_coalesce():
+    table = SingleFlight()
+    _, a_leads = table.begin("a")
+    _, b_leads = table.begin("b")
+    assert a_leads and b_leads
+    assert table.in_flight() == 2
+
+
+def test_stats_count_leaders_and_coalesced():
+    table = SingleFlight()
+    f, _ = table.begin("a")
+    table.begin("a")
+    table.begin("a")
+    table.finish(f, None)
+    g, _ = table.begin("b")
+    table.finish(g, None)
+    assert table.stats.as_dict() == {"leaders": 2, "coalesced": 2}
