@@ -1,0 +1,231 @@
+"""Replay-plane wall-clock harness: legacy vs vectorized+cached plane.
+
+Two measurements over the auto-fidelity smoke grid
+(MT/LU/SC/SRAD2 x BASE/PM/PAE), emitted into
+``benchmarks/results/BENCH_replay_wall.json``:
+
+**Full-grid walls** (context, no target): one auto-fidelity matrix per
+mode — scalar backend, vector backend cold, vector backend against a
+warm state cache — with byte-identity between the three asserted.
+The replay plane is ~1-2% of the grid at this scale (the detailed
+cycle engine dominates), so these walls move with machine noise, not
+with the backend; they are recorded to keep the headline honest.
+
+**Replay-plane walls** (the >= 1.3x target): the estimate-branch work
+the PR replaced, measured directly over every replayed estimated
+kernel of the grid:
+
+* ``legacy`` — the PR 9 path, byte for byte: per-scheme
+  ``_prepare_kernel`` + ``TBContext`` build + the per-op Python merge
+  (``_replay_contexts``) + the scalar warm loops,
+* ``current`` — the PR 10 path: the kernel stream served from a warm
+  :class:`~repro.runner.state_cache.StateCache` (built once by a
+  priming pass), one whole-stream GF(2) map, and the vectorized
+  replay backend.
+
+Both paths replay identical op streams through identically-warmed
+fresh systems, repeated ``REPRO_REPLAY_BENCH_REPS`` times (default 3)
+to beat scheduler noise; op counts are asserted equal.  The wall half
+of the target is recorded in the artifact trail rather than asserted,
+same convention as ``test_sampled_accuracy.py``.
+
+Environment knobs:
+
+* ``REPRO_REPLAY_BENCH_SCALE`` — trace scale (default 1.0).
+* ``REPRO_REPLAY_BENCH_REPS``  — timing repetitions (default 3).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import run_matrix
+from repro.core import hynix_gddr5_map
+from repro.registry import make_scheme, make_workload
+from repro.runner.state_cache import StateCache
+from repro.runner.sweep import SweepRunner
+from repro.runner.worker import _state_cache_for
+from repro.sim.fidelity import parse_fidelity
+from repro.sim.gpu_system import GPUSystem, TBContext, plan_auto
+from repro.sim.replay import BACKEND_ENV
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE_BENCHMARKS = ("MT", "LU", "SC", "SRAD2")
+SMOKE_SCHEMES = ("BASE", "PM", "PAE")
+
+TARGET_SPEEDUP = 1.3
+
+AMAP = hynix_gddr5_map()
+
+
+def _run_grid(backend, state_dir, scale):
+    """One full auto-fidelity matrix: (wall_seconds, result dicts)."""
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = backend
+    try:
+        runner = SweepRunner(workers=1, state_dir=state_dir or "")
+        started = time.perf_counter()
+        results = run_matrix(
+            SMOKE_BENCHMARKS, SMOKE_SCHEMES, scale=scale, fidelity="auto",
+            runner=runner,
+        )
+        wall = time.perf_counter() - started
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = previous
+    return wall, {key: r.to_dict() for key, r in results.items()}
+
+
+def _replayed_estimate_kernels(workload, fidelity):
+    """Indices of the kernels the auto plan replays functionally."""
+    plan = plan_auto(workload, fidelity, AMAP)
+    last_detailed = max(
+        (i for i, entry in enumerate(plan) if entry[0] != "estimate"),
+        default=-1,
+    )
+    return [
+        i for i, entry in enumerate(plan)
+        if entry[0] == "estimate" and i <= last_detailed
+    ]
+
+
+def _plane_walls(scale, reps):
+    """(legacy_wall, current_wall, ops) for the grid's replay plane.
+
+    Each rep replays every (workload, scheme, estimated kernel) of the
+    smoke grid through a fresh system per (workload, scheme), so both
+    paths see identical streams against identically-warmed state.
+    """
+    fidelity = parse_fidelity("auto")
+    work = []  # (workload, [kernel indices])
+    for name in SMOKE_BENCHMARKS:
+        workload = make_workload(name, scale=scale)
+        kernels = _replayed_estimate_kernels(workload, fidelity)
+        if kernels:
+            work.append((workload, kernels))
+
+    state = StateCache(RESULTS_DIR / ".replay_wall_state")
+    try:
+        legacy_wall = current_wall = 0.0
+        legacy_ops = current_ops = 0
+        previous = os.environ.get(BACKEND_ENV)
+        for _ in range(reps):
+            for workload, kernels in work:
+                base_key = {
+                    "workload": workload.abbreviation, "scale": scale,
+                    "fidelity": {"kind": "auto"}, "memory": "gddr5",
+                }
+                for scheme_name in SMOKE_SCHEMES:
+                    # Legacy plane: PR 9's estimate branch, verbatim.
+                    os.environ[BACKEND_ENV] = "scalar"
+                    system = GPUSystem(make_scheme(scheme_name, AMAP))
+                    started = time.perf_counter()
+                    for index in kernels:
+                        kernel = workload.kernels[index]
+                        prepare = system._prepare_kernel(kernel)
+                        contexts = [
+                            TBContext(tb, index, prepare)
+                            for tb in kernel.tbs
+                        ]
+                        skipped, _ = system._replay_contexts(contexts)
+                        legacy_ops += skipped
+                    legacy_wall += time.perf_counter() - started
+
+                    # Current plane: warm state cache + vector backend.
+                    os.environ[BACKEND_ENV] = "vector"
+                    system = GPUSystem(make_scheme(scheme_name, AMAP))
+                    started = time.perf_counter()
+                    for index in kernels:
+                        stream = system._kernel_stream(
+                            workload.kernels[index], index, state, base_key,
+                            workload=workload,
+                        )
+                        skipped, _ = system._replay_stream(stream)
+                        current_ops += skipped
+                    current_wall += time.perf_counter() - started
+        if previous is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = previous
+        assert legacy_ops == current_ops, "paths replayed different streams"
+        return legacy_wall, current_wall, current_ops
+    finally:
+        import shutil
+
+        shutil.rmtree(state.root, ignore_errors=True)
+
+
+def _emit(record, name="BENCH_replay_wall.json"):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    existing = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if not isinstance(existing, list):
+                existing = [existing]
+        except json.JSONDecodeError:
+            existing = []
+    existing.append(record)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+def test_replay_wall(tmp_path):
+    scale = float(os.environ.get("REPRO_REPLAY_BENCH_SCALE", "1.0"))
+    reps = int(os.environ.get("REPRO_REPLAY_BENCH_REPS", "3"))
+    state_dir = str(tmp_path / "state")
+
+    scalar_wall, scalar_results = _run_grid("scalar", None, scale)
+    vector_cold_wall, vector_cold_results = _run_grid(
+        "vector", state_dir, scale
+    )
+    state = _state_cache_for(state_dir)
+    stores = state.stats.stores if state is not None else 0
+    vector_warm_wall, vector_warm_results = _run_grid(
+        "vector", state_dir, scale
+    )
+    hits_warm = state.stats.hits if state is not None else 0
+
+    legacy_plane, current_plane, plane_ops = _plane_walls(scale, reps)
+    plane_speedup = legacy_plane / current_plane if current_plane else 0.0
+
+    record = {
+        "scale": scale,
+        "benchmarks": list(SMOKE_BENCHMARKS),
+        "schemes": list(SMOKE_SCHEMES),
+        "fidelity": "auto",
+        "workers": 1,
+        "grid": {
+            "scalar_wall_seconds": scalar_wall,
+            "vector_cold_wall_seconds": vector_cold_wall,
+            "vector_warm_wall_seconds": vector_warm_wall,
+            "note": (
+                "replay is ~1-2% of the grid wall at this scale; these "
+                "walls track machine noise and carry no target"
+            ),
+        },
+        "replay_plane": {
+            "reps": reps,
+            "ops_replayed": plane_ops,
+            "legacy_wall_seconds": legacy_plane,
+            "current_wall_seconds": current_plane,
+            "speedup": plane_speedup,
+        },
+        "state_streams_stored": stores,
+        "state_hits_total": hits_warm,
+        "targets": {"replay_plane_speedup": TARGET_SPEEDUP},
+        "meets_targets": bool(plane_speedup >= TARGET_SPEEDUP),
+    }
+    _emit(record)
+
+    # Blocking (deterministic): all three grid modes must agree byte
+    # for byte — the backend switch and the warmed-state cache are
+    # pure optimizations.
+    assert scalar_results == vector_cold_results == vector_warm_results
+    assert record["replay_plane"]["legacy_wall_seconds"] > 0
+    assert record["replay_plane"]["current_wall_seconds"] > 0

@@ -85,6 +85,7 @@ import json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Union
 
 from . import api, registry
@@ -359,9 +360,27 @@ def _cmd_merge(args) -> int:
     return _print_failures(merged, "merge")
 
 
+def _state_cache_at(cache_dir):
+    """The warmed-state cache living under *cache_dir*, or None.
+
+    Sweeps default their :class:`StateCache` to ``<cache_dir>/state``
+    (see :class:`~repro.runner.sweep.SweepRunner`), so the cache CLI
+    reports and prunes that same location.
+    """
+    from .runner.state_cache import StateCache
+
+    state_root = Path(cache_dir) / "state"
+    if not state_root.is_dir():
+        return None
+    return StateCache(state_root)
+
+
 def _cmd_cache_ls(args) -> int:
+    from .runner.state_cache import STATE_SCHEMA_VERSION
+
     cache = ResultCache(args.cache_dir)
     entries = cache.entries()
+    state = _state_cache_at(args.cache_dir)
     if getattr(args, "json", False):
         # Machine-readable form for dashboards / quota scripts: every
         # record plus the totals, deterministically ordered by key.
@@ -378,6 +397,16 @@ def _cmd_cache_ls(args) -> int:
                 e.to_dict() for e in sorted(entries, key=lambda e: e.key)
             ],
         }
+        if state is not None:
+            document["state"] = {
+                "root": str(state.root),
+                "current_schema": STATE_SCHEMA_VERSION,
+                "totals": state.usage(),
+                "entries": [
+                    e.to_dict()
+                    for e in sorted(state.entries(), key=lambda e: e.key)
+                ],
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     by_schema = {}
@@ -403,6 +432,17 @@ def _cmd_cache_ls(args) -> int:
         f"\n{len(entries)} records under {cache.root} "
         f"(current schema: {CACHE_SCHEMA_VERSION})"
     )
+    if state is not None:
+        usage = state.usage()
+        stale = sum(
+            1 for e in state.entries() if e.schema != STATE_SCHEMA_VERSION
+        )
+        stale_note = f", {stale} stale" if stale else ""
+        print(
+            f"warmed-state cache: {usage['entries']} stream(s), "
+            f"{usage['bytes']} bytes under {state.root} "
+            f"(schema {STATE_SCHEMA_VERSION}{stale_note})"
+        )
     return 0
 
 
@@ -424,6 +464,26 @@ def _cmd_cache_prune(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if getattr(args, "state", False):
+        from .runner.state_cache import STATE_SCHEMA_VERSION
+
+        if STATE_SCHEMA_VERSION in versions:
+            print(
+                f"error: refusing to prune the current state schema version "
+                f"({STATE_SCHEMA_VERSION}); delete the state dir if you "
+                f"mean it",
+                file=sys.stderr,
+            )
+            return 2
+        state = _state_cache_at(args.cache_dir)
+        if state is None:
+            print(f"no warmed-state cache under {args.cache_dir}")
+            return 0
+        removed, kept = state.prune(schema_versions=versions, stale=args.stale)
+        print(
+            f"pruned {removed} state record(s), kept {kept} ({state.root})"
+        )
+        return 0
     if CACHE_SCHEMA_VERSION in versions:
         print(
             f"error: refusing to prune the current schema version "
@@ -748,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_prune.add_argument(
         "--stale", action="store_true",
         help="evict everything not produced by the current schema version",
+    )
+    p_prune.add_argument(
+        "--state", action="store_true",
+        help="prune the warmed-state replay-stream cache at "
+             "<cache-dir>/state instead of the result records (schema "
+             "versions then refer to STATE_SCHEMA_VERSION)",
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
 

@@ -134,6 +134,34 @@ class Bank:
         self.precharges += changes + first_precharges
         self.open_row = int(rows[-1])
 
+    def replay_rows_summary(
+        self, first_row: int, last_row: int, n: int, changes: int
+    ) -> None:
+        """Counter-only form of :meth:`replay_rows`.
+
+        The vectorized replay backend computes each bank's sub-stream
+        summary (*n* accesses, *changes* in-stream row transitions,
+        first and last row) with whole-channel array passes; this
+        method applies the identical counter updates without
+        materializing the per-bank row arrays.
+        """
+        if not n:
+            return
+        if self.open_row is None:
+            self.row_misses += 1
+            first_activates, first_precharges = 1, 0
+        elif self.open_row == first_row:
+            self.row_hits += 1
+            first_activates, first_precharges = 0, 0
+        else:
+            self.row_conflicts += 1
+            first_activates, first_precharges = 1, 1
+        self.row_hits += n - 1 - changes
+        self.row_conflicts += changes
+        self.activates += changes + first_activates
+        self.precharges += changes + first_precharges
+        self.open_row = int(last_row)
+
     def occupy_until(self, cycle: int) -> None:
         """Block further commands to this bank until *cycle*."""
         self.ready_at = max(self.ready_at, cycle)

@@ -211,6 +211,52 @@ class MemoryController:
         # cycle counts.
         self.busy_cycles += (n_reads + n_writes) * self._timing.t_burst
 
+    def replay_traffic_vector(
+        self, banks, rows, n_reads: int, n_writes: int
+    ) -> None:
+        """Vectorized :meth:`replay_traffic` (counter-identical).
+
+        One stable argsort groups the stream by bank; per-bank row
+        transitions are counted with a single whole-channel ``np.diff``
+        comparison (transitions at segment starts masked off), and each
+        present bank applies its summary via
+        :meth:`~repro.dram.bank.Bank.replay_rows_summary`.  Leaves
+        every counter and open row exactly as the scalar pass would.
+        """
+        banks = np.asarray(banks)
+        rows = np.asarray(rows)
+        if len(banks) != len(rows):
+            raise ValueError(
+                f"bank/row replay arrays disagree on length: "
+                f"{len(banks)}/{len(rows)}"
+            )
+        if len(banks):
+            order = np.argsort(banks, kind="stable")
+            sorted_banks = banks[order]
+            sorted_rows = rows[order]
+            n = sorted_banks.size
+            is_start = np.r_[True, sorted_banks[1:] != sorted_banks[:-1]]
+            starts = np.flatnonzero(is_start)
+            # A row change inside a bank segment = adjacent rows differ
+            # and the boundary is not a segment start.
+            change = np.r_[False, sorted_rows[1:] != sorted_rows[:-1]]
+            change[starts] = False
+            change_cum = np.cumsum(change)
+            ends = np.r_[starts[1:], n]
+            seg_changes = change_cum[ends - 1] - change_cum[starts]
+            for i in range(starts.size):
+                s, e = int(starts[i]), int(ends[i])
+                self.banks[int(sorted_banks[s])].replay_rows_summary(
+                    int(sorted_rows[s]),
+                    int(sorted_rows[e - 1]),
+                    e - s,
+                    int(seg_changes[i]),
+                )
+        self.reads += n_reads
+        self.writes += n_writes
+        self.requests_seen += n_reads + n_writes
+        self.busy_cycles += (n_reads + n_writes) * self._timing.t_burst
+
     def _wake_at(self, time: int) -> None:
         time = max(time, self._engine.now)
         if self._wake_scheduled_at is not None and self._wake_scheduled_at <= time:

@@ -130,6 +130,40 @@ class SetAssociativeCache:
         return self._line_bytes
 
     @property
+    def use_counter(self) -> int:
+        """The current LRU tick (monotone; only relative order matters)."""
+        return self._use_counter
+
+    def sync_use_counter(self, value: int) -> None:
+        """Advance the LRU tick to at least *value*.
+
+        The vectorized replay backend stamps ops with per-stream
+        positions instead of per-bump ticks; afterwards it fast-forwards
+        the counter past every stamp so later accesses stay the most
+        recent.  Never moves the counter backwards.
+        """
+        if value > self._use_counter:
+            self._use_counter = value
+
+    def set_entries(self, set_id: int) -> Dict[int, List]:
+        """The live ``{line: [use, dirty]}`` dict of one set.
+
+        Exposed for the vectorized replay backend, which stages set
+        contents into dense arrays and writes them back in place.
+        Mutating the returned dict mutates the cache.
+        """
+        return self._lines[set_id]
+
+    @property
+    def line_tables(self) -> List[Dict[int, List]]:
+        """All live set dicts, indexed by set id (see :meth:`set_entries`).
+
+        One attribute read instead of one method call per op on the
+        replay plane's sparse-stream fallback path.
+        """
+        return self._lines
+
+    @property
     def capacity_bytes(self) -> int:
         return self._sets * self._ways * self._line_bytes
 

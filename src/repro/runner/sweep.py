@@ -93,13 +93,15 @@ import warnings
 from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..sim.fidelity import fidelity_kind
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
 from .config import RunConfig
 from .faults import FailurePolicy, FaultPlan, RunFailure, SweepFailure
-from .worker import execute_config_batch, process_context
+from .worker import _state_cache_for, execute_config_batch, process_context
 
 __all__ = [
     "SweepRunner",
@@ -225,6 +227,19 @@ class SweepOutcome:
 # runtime metadata at all.  Only relative magnitudes matter for LJF.
 _FALLBACK_SECONDS_PER_SCALE = 1.0
 
+# Relative wall clock of each fidelity family against exact mode.
+# Sampled/auto runs fast-forward most of their detailed cycles, so
+# exact-mode sidecar evidence grossly inflates their estimates (and
+# vice versa); when a config's own family has no recorded evidence,
+# cross-family rates are rescaled by this documented discount instead
+# of being used raw.  Deliberately coarse — estimates only order
+# execution and feed the ETA, never results.
+_FIDELITY_WALL_DISCOUNT = {"exact": 1.0, "sampled": 0.5, "auto": 0.5}
+
+
+def _fidelity_discount(kind: str) -> float:
+    return _FIDELITY_WALL_DISCOUNT.get(kind, 1.0)
+
 
 def estimate_runtimes(
     configs: Sequence[RunConfig],
@@ -233,19 +248,25 @@ def estimate_runtimes(
     """Estimated wall seconds for each config, best evidence first.
 
     1. mean recorded wall of runs with the same (benchmark, scheme,
-       scale, n_sms, memory) — i.e. the same run under an older cache
-       schema,
-    2. mean recorded wall-per-scale of the same benchmark, times the
-       config's scale,
-    3. global mean wall-per-scale, times the config's scale,
-    4. a static ``scale * n_sms`` guess.
+       scale, n_sms, memory, fidelity kind) — i.e. the same run under
+       an older cache schema,
+    2. mean recorded wall-per-scale of the same benchmark and fidelity
+       kind, times the config's scale,
+    3. the same benchmark's evidence from another fidelity kind,
+       rescaled by the :data:`_FIDELITY_WALL_DISCOUNT` ratio (exact
+       evidence preferred — the most abundant, least noisy family),
+    4. the same two steps over global (all-benchmark) rates,
+    5. a static ``scale * n_sms`` guess, times the kind's discount.
+
+    Sidecars recorded before the ``fidelity`` field existed are
+    counted as exact — that is what produced them.
 
     Pure and deterministic: estimates only influence execution order,
     never results.
     """
-    exact: Dict[Tuple[str, str, float, int, str], List[float]] = {}
-    bench_rates: Dict[str, List[float]] = {}
-    global_rates: List[float] = []
+    exact: Dict[Tuple[str, str, float, int, str, str], List[float]] = {}
+    bench_rates: Dict[str, Dict[str, List[float]]] = {}
+    global_rates: Dict[str, List[float]] = {}
     for meta in metas:
         try:
             wall = float(meta["wall_seconds"])  # type: ignore[arg-type]
@@ -253,33 +274,55 @@ def estimate_runtimes(
             scale = float(meta["scale"])  # type: ignore[arg-type]
         except (KeyError, TypeError, ValueError):
             continue
+        kind = str(meta.get("fidelity") or "exact")
         key = (
             benchmark, str(meta.get("scheme")), scale,
-            int(meta.get("n_sms", 0) or 0), str(meta.get("memory")),
+            int(meta.get("n_sms", 0) or 0), str(meta.get("memory")), kind,
         )
         exact.setdefault(key, []).append(wall)
         if scale > 0:
-            bench_rates.setdefault(benchmark, []).append(wall / scale)
-            global_rates.append(wall / scale)
+            bench_rates.setdefault(benchmark, {}).setdefault(
+                kind, []
+            ).append(wall / scale)
+            global_rates.setdefault(kind, []).append(wall / scale)
 
     def mean(values: List[float]) -> float:
         return sum(values) / len(values)
 
+    def rate_for(table: Dict[str, List[float]], kind: str) -> Optional[float]:
+        """Per-scale rate for *kind*, converting cross-kind evidence by
+        the fidelity discount when the kind itself has none."""
+        rates = table.get(kind)
+        if rates:
+            return mean(rates)
+        for other in ("exact", *sorted(table)):
+            rates = table.get(other)
+            if rates and other != kind:
+                return (
+                    mean(rates)
+                    * _fidelity_discount(kind) / _fidelity_discount(other)
+                )
+        return None
+
     estimates = []
     for config in configs:
+        kind = fidelity_kind(config.fidelity)
         key = (
             config.benchmark_name, config.scheme_name, config.scale,
-            config.n_sms, config.memory,
+            config.n_sms, config.memory, kind,
         )
         if key in exact:
             estimates.append(mean(exact[key]))
-        elif config.benchmark_name in bench_rates:
-            estimates.append(mean(bench_rates[config.benchmark_name]) * config.scale)
-        elif global_rates:
-            estimates.append(mean(global_rates) * config.scale)
+            continue
+        rate = rate_for(bench_rates.get(config.benchmark_name, {}), kind)
+        if rate is None:
+            rate = rate_for(global_rates, kind)
+        if rate is not None:
+            estimates.append(rate * config.scale)
         else:
             estimates.append(
                 _FALLBACK_SECONDS_PER_SCALE * config.scale * config.n_sms
+                * _fidelity_discount(kind)
             )
     return estimates
 
@@ -344,6 +387,7 @@ class SweepRunner:
         progress: Optional[Callable[[SweepProgress], None]] = None,
         policy: Optional[FailurePolicy] = None,
         faults: Union[FaultPlan, str, None] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         """*context* is the :class:`~repro.runner.worker.RunContext` used
         for inline execution (``workers <= 1``); it defaults to the
@@ -353,7 +397,15 @@ class SweepRunner:
         after every completed miss.  *policy* governs retries/timeouts
         (defaults to :class:`~repro.runner.faults.FailurePolicy`);
         *faults* is a fault-injection plan or spec string, defaulting
-        to ``$REPRO_FAULT_INJECT`` so chaos runs need no plumbing."""
+        to ``$REPRO_FAULT_INJECT`` so chaos runs need no plumbing.
+
+        *state_dir* locates the warmed-state cache
+        (:mod:`repro.runner.state_cache`) that auto-fidelity runs share
+        their scheme-independent replay streams through.  It defaults
+        to ``<cache_dir>/state`` when a result cache is configured;
+        pass an explicit directory to use one without the other (e.g.
+        benchmarks that must re-execute results but still measure
+        warmed-state reuse), or ``""`` to disable it."""
         if schedule not in ("ljf", "fifo"):
             raise ValueError(f"schedule must be 'ljf' or 'fifo', got {schedule!r}")
         self.workers = coerce_workers(workers) if workers is not None else 1
@@ -365,6 +417,9 @@ class SweepRunner:
             ResultCache(cache_dir, faults=self.faults)
             if cache_dir is not None else None
         )
+        if state_dir is None and cache_dir is not None:
+            state_dir = str(Path(cache_dir) / "state")
+        self.state_dir: Optional[str] = state_dir or None
         self.stats = SweepStats()
         self.schedule = schedule
         self.claims = bool(claims) and self.cache is not None
@@ -560,6 +615,7 @@ class SweepRunner:
         """Serial in-process execution with retries (no timeout: inline
         execution cannot interrupt itself — use workers > 1 for that)."""
         context = self._context if self._context is not None else process_context()
+        state_cache = _state_cache_for(self.state_dir)
         policy = self.policy
         plan = self.faults
         started = time.perf_counter()
@@ -578,7 +634,7 @@ class SweepRunner:
                             config.benchmark_name, config.scheme_name,
                             key, attempt, allow_exit=False,
                         )
-                    result = context.execute(config)
+                    result = context.execute(config, state_cache=state_cache)
                 except Exception as error:  # noqa: BLE001 — retried/reported
                     wall_total += time.perf_counter() - run_started
                     attempt += 1
@@ -762,6 +818,7 @@ class SweepRunner:
                     [payloads[i] for i in indices],
                     fault_spec,
                     [attempts[i] for i in indices],
+                    self.state_dir,
                 )
             except BrokenProcessPool:
                 # Pool died between our last observation and this

@@ -29,7 +29,7 @@ from ..core.entropy import (
 from ..core.schemes import MappingScheme
 from ..gpu.config import config_with_sms
 from ..registry import memory_config
-from ..sim.fidelity import AutoFidelity, Fidelity
+from ..sim.fidelity import AutoFidelity, Fidelity, fidelity_to_json
 from ..sim.gpu_system import GPUSystem, plan_auto
 from ..sim.results import SimulationResult
 from ..specs import SchemeSpec, WorkloadSpec
@@ -163,8 +163,20 @@ class RunContext:
         return self._auto_plans[key]
 
     # -- execution -------------------------------------------------------
-    def execute(self, config: RunConfig) -> SimulationResult:
-        """Build a fresh system and run *config* to completion."""
+    def execute(
+        self, config: RunConfig, state_cache=None
+    ) -> SimulationResult:
+        """Build a fresh system and run *config* to completion.
+
+        *state_cache* optionally connects an auto-fidelity run to a
+        :class:`~repro.runner.state_cache.StateCache`: the run's
+        scheme-independent identity document is derived here (workload
+        content identity, scale, fidelity, memory, machine size) and
+        handed to the system, which caches each estimated kernel's
+        replay stream under it.  The scheme is deliberately absent
+        from the document — the stream is scheme-invariant, which is
+        the whole point of sharing it across a scheme sweep.
+        """
         workload = self.workload(config.benchmark, config.scale)
         scheme = self.scheme(
             config.scheme, config.seed, config.memory,
@@ -178,12 +190,25 @@ class RunContext:
             dram_power_params=memory.power_params,
         )
         auto_plan = None
+        state_key = None
         if isinstance(config.fidelity, AutoFidelity):
             auto_plan = self.auto_plan(
                 config.benchmark, config.scale, config.fidelity, config.memory
             )
+            if state_cache is not None:
+                state_key = {
+                    "workload": WorkloadSpec.from_value(
+                        config.benchmark
+                    ).identity(),
+                    "scale": config.scale,
+                    "fidelity": fidelity_to_json(config.fidelity),
+                    "memory": config.memory,
+                    "n_sms": config.n_sms,
+                }
         return system.run(
-            workload, fidelity=config.fidelity, auto_plan=auto_plan
+            workload, fidelity=config.fidelity, auto_plan=auto_plan,
+            state_cache=state_cache if state_key is not None else None,
+            state_key=state_key,
         )
 
 
@@ -212,10 +237,32 @@ def execute_config(config_data: Dict[str, object]) -> Dict[str, object]:
     return result.to_dict()
 
 
+_STATE_CACHES: Dict[str, object] = {}
+
+
+def _state_cache_for(state_dir: Optional[str]):
+    """This process's :class:`StateCache` for *state_dir* (memoized).
+
+    Any failure to open the cache directory degrades to running
+    without one — the state cache is purely an optimization.
+    """
+    if not state_dir:
+        return None
+    if state_dir not in _STATE_CACHES:
+        from .state_cache import StateCache
+
+        try:
+            _STATE_CACHES[state_dir] = StateCache(state_dir)
+        except OSError:
+            _STATE_CACHES[state_dir] = None
+    return _STATE_CACHES[state_dir]
+
+
 def execute_config_batch(
     payloads: Sequence[Dict[str, object]],
     fault_spec: Optional[str] = None,
     attempts: Optional[Sequence[int]] = None,
+    state_dir: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Pool entry point: run a batch of configs in one task.
 
@@ -238,11 +285,17 @@ def execute_config_batch(
     ``times=N`` fault clauses count against.  Without a spec the
     ``REPRO_FAULT_INJECT`` environment variable still applies, so CLI
     chaos smoke runs need no plumbing.
+
+    *state_dir*, when set, points every run of the batch at the shared
+    on-disk warmed-state cache (:mod:`repro.runner.state_cache`);
+    auto-fidelity runs then reuse each other's replay streams across
+    schemes, processes and sweeps.
     """
     from .faults import FaultPlan  # worker import kept lazy & cycle-free
 
     context = process_context()
     plan = FaultPlan.parse(fault_spec) if fault_spec else FaultPlan.from_env()
+    state_cache = _state_cache_for(state_dir)
     out: List[Dict[str, object]] = []
     for index, data in enumerate(payloads):
         config = RunConfig.from_dict(data)
@@ -254,7 +307,7 @@ def execute_config_batch(
                     config.benchmark_name, config.scheme_name,
                     config.config_hash(), attempt,
                 )
-            result = context.execute(config)
+            result = context.execute(config, state_cache=state_cache)
         except Exception as error:  # noqa: BLE001 — reported, not hidden
             out.append({
                 "error": f"{type(error).__name__}: {error}",

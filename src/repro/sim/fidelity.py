@@ -87,6 +87,7 @@ __all__ = [
     "Fidelity",
     "parse_fidelity",
     "fidelity_to_json",
+    "fidelity_kind",
 ]
 
 EXACT = "exact"
@@ -393,3 +394,16 @@ def fidelity_to_json(fidelity: Fidelity) -> Union[str, Dict[str, object]]:
     if isinstance(fidelity, (SampledFidelity, AutoFidelity)):
         return fidelity.to_json()
     raise TypeError(f"not a normalized fidelity: {fidelity!r}")
+
+
+def fidelity_kind(fidelity) -> str:
+    """The coarse mode name: ``"exact"``, ``"sampled"`` or ``"auto"``.
+
+    Accepts anything :func:`parse_fidelity` accepts.  Used to key
+    runtime estimates and cache sidecars by fidelity family — wall
+    clock differs by mode far more than by the mode's parameters.
+    """
+    value = fidelity_to_json(parse_fidelity(fidelity))
+    if isinstance(value, str):
+        return value
+    return str(value.get("kind", EXACT))

@@ -51,6 +51,7 @@ from ..gpu.sm import SM, MemRequest
 from ..gpu.tb_scheduler import TBScheduler
 from ..gpu.thread_block import TBContext, WarpContext
 from ..workloads.base import WarpTrace, Workload
+from . import replay as replay_plane
 from .engine import Engine
 from .fidelity import (
     EXACT,
@@ -504,6 +505,8 @@ class GPUSystem:
         max_events: Optional[int] = None,
         fidelity: Fidelity = EXACT,
         auto_plan=None,
+        state_cache=None,
+        state_key=None,
     ) -> SimulationResult:
         """Simulate *workload* to completion and collect all metrics.
 
@@ -520,12 +523,25 @@ class GPUSystem:
         :func:`plan_auto` result (the plan is scheme-independent, so a
         sweep computes it once per workload and shares it across every
         scheme's run).  Ignored unless *fidelity* is auto.
+
+        *state_cache* / *state_key* optionally connect the auto mode's
+        estimated-kernel replay to a cross-run
+        :class:`~repro.runner.state_cache.StateCache`: *state_key* is
+        the run's scheme-independent identity document (workload
+        content, scale, fidelity, memory kind, machine size) and the
+        cache stores each estimated kernel's merged replay stream
+        (:class:`~repro.sim.replay.KernelStream`) under it, so sweeps
+        over many schemes — and later re-sweeps — build each kernel's
+        warmed-state input once.  Ignored unless *fidelity* is auto.
         """
         if self._finished or self.scheduler.tbs_dispatched:
             raise RuntimeError("GPUSystem instances are single-use; build a new one")
         fidelity = parse_fidelity(fidelity)
         if isinstance(fidelity, AutoFidelity):
-            return self._run_auto(workload, fidelity, max_events, plan=auto_plan)
+            return self._run_auto(
+                workload, fidelity, max_events, plan=auto_plan,
+                state_cache=state_cache, state_key=state_key,
+            )
         if isinstance(fidelity, SampledFidelity):
             return self._run_sampled(workload, fidelity, max_events)
         kernels = []
@@ -684,6 +700,8 @@ class GPUSystem:
         fidelity: AutoFidelity,
         max_events: Optional[int] = None,
         plan=None,
+        state_cache=None,
+        state_key=None,
     ) -> SimulationResult:
         """Auto-planned sampled run (``--fidelity auto``).
 
@@ -746,9 +764,11 @@ class GPUSystem:
                         noc_flits=int(round(rate * kernel_ops)),
                     )
                     continue
-                prepare = self._prepare_kernel(kernel)
-                contexts = [TBContext(tb, kernel_index, prepare) for tb in kernel.tbs]
-                skipped, flits = self._replay_contexts(contexts)
+                stream = self._kernel_stream(
+                    kernel, kernel_index, state_cache, state_key,
+                    workload=workload,
+                )
+                skipped, flits = self._replay_stream(stream)
                 accounting.record_estimated_kernel(
                     skipped, mean_cycles, noc_flits=flits
                 )
@@ -1060,120 +1080,75 @@ class GPUSystem:
     def _replay_ops(self, sm_ids, lines, channels, banks, rows, slice_ids, writes):
         """Replay an ordered op stream functionally through the hierarchy.
 
-        L1 filtering happens per SM (each SM sees its own sub-stream,
-        order preserved), surviving traffic is grouped per LLC slice,
-        and the resulting DRAM reads plus dirty-victim writebacks are
-        replayed through the per-bank row-buffer state machines.
-        Returns ``(ops_replayed, estimated_noc_flits)``.
+        Delegates to :mod:`repro.sim.replay` (the scalar oracle or the
+        vectorized structure-of-arrays backend, selected per process
+        via ``REPRO_REPLAY_BACKEND``); both leave equivalent state and
+        return ``(ops_replayed, estimated_noc_flits)``.
         """
-        total_ops = len(lines)
-        if not total_ops:
-            return 0, 0
-        sm_arr = np.asarray(sm_ids, dtype=np.int64)
-        lines_arr = np.asarray(lines, dtype=np.uint64)
-        writes_arr = np.asarray(writes, dtype=bool)
-        # Set hashing depends only on geometry, and every SM shares one
-        # L1 geometry — one vectorized pass covers the whole stream.
-        l1_set_ids = self.sms[0].l1.set_indices_array(lines_arr)
-        order = np.argsort(sm_arr, kind="stable")
-        sorted_sm = sm_arr[order]
-        bounds = [
-            0,
-            *(np.flatnonzero(np.diff(sorted_sm)) + 1).tolist(),
-            total_ops,
-        ]
-        keep = np.zeros(total_ops, dtype=bool)
-        for start, end in zip(bounds, bounds[1:]):
-            positions = order[start:end]
-            kept = self.sms[int(sorted_sm[start])].warm_l1(
-                lines_arr[positions].tolist(),
-                writes_arr[positions].tolist(),
-                set_ids=l1_set_ids[positions].tolist(),
-            )
-            if kept:
-                keep[positions[np.asarray(kept, dtype=np.int64)]] = True
-        forwarded = np.flatnonzero(keep)
-        if not forwarded.size:
-            return total_ops, 0
-        data_flits = self.config.data_packet_flits
-        read_flits = self.config.noc_control_flits + data_flits
-        n_channels = self.timing.channels
-        fwd_write_count = int(writes_arr[forwarded].sum())
-        noc_flits = (
-            fwd_write_count * data_flits
-            + (forwarded.size - fwd_write_count) * read_flits
+        return replay_plane.replay_ops(
+            self, sm_ids, lines, channels, banks, rows, slice_ids, writes
         )
-        # Post-L1 traffic grouped per LLC slice in replay order (a
-        # slice only ever sees its own sub-stream); LLC slices also
-        # share one geometry, so set indices again come from one pass.
-        slice_arr = np.asarray(slice_ids, dtype=np.int64)[forwarded]
-        llc_set_ids = self.slices[0].cache.set_indices_array(lines_arr[forwarded])
-        chan_arr = np.asarray(channels, dtype=np.int64)
-        bank_arr = np.asarray(banks, dtype=np.int64)
-        row_arr = np.asarray(rows, dtype=np.int64)
-        s_order = np.argsort(slice_arr, kind="stable")
-        sorted_slice = slice_arr[s_order]
+
+    def _kernel_stream(
+        self, kernel, kernel_index, state_cache, state_key, workload=None
+    ):
+        """The merged replay stream of an estimated kernel.
+
+        Loads the stream from *state_cache* when connected (keyed by
+        the run's scheme-independent *state_key* document plus the
+        kernel index and the machine's wave capacity), building and
+        storing it on a miss.
+        """
+        wave_cap = max(1, self.config.max_concurrent_tbs)
+        if state_cache is None or state_key is None:
+            return replay_plane.build_kernel_stream(kernel, wave_cap)
+        key = state_cache.key_for(state_key, kernel_index, wave_cap)
+        stream = state_cache.get(key)
+        if stream is None:
+            stream = replay_plane.build_kernel_stream(kernel, wave_cap)
+            state_cache.put(
+                key, stream,
+                benchmark=getattr(workload, "abbreviation", None),
+                kernel=kernel_index,
+            )
+        return stream
+
+    def _replay_stream(self, stream):
+        """Replay a :class:`~repro.sim.replay.KernelStream`.
+
+        Equivalent to :meth:`_replay_contexts` over the kernel's full
+        TB list: the fast-forward SM cursor advances once per TB
+        (empty ones included), each op lands on the SM its TB would
+        have been spread to, the whole stream is scheme-mapped and
+        decoded in one pass, and each wave is replayed as one
+        :meth:`_replay_ops` call (preserving the per-wave DRAM
+        grouping).  Returns ``(ops_replayed, estimated_noc_flits)``.
+        """
+        cursor0 = self._ff_sm_cursor
+        self._ff_sm_cursor += stream.n_tbs
+        if not stream.n_ops:
+            return 0, 0
+        mapped = np.atleast_1d(self.scheme.map(stream.addresses))
+        lines, channels, banks, rows, slices = self._coords_of(mapped)
+        n_sms = len(self.sms)
+        sm_ids = (cursor0 + stream.tb_ordinals.astype(np.int64)) % n_sms
+        waves = stream.tb_ordinals // np.int32(stream.wave_cap)
         bounds = [
             0,
-            *(np.flatnonzero(np.diff(sorted_slice)) + 1).tolist(),
-            forwarded.size,
+            *(np.flatnonzero(np.diff(waves)) + 1).tolist(),
+            stream.n_ops,
         ]
-        miss_channel_parts: List[np.ndarray] = []
-        miss_bank_parts: List[np.ndarray] = []
-        miss_row_parts: List[np.ndarray] = []
-        writeback_parts: List[np.ndarray] = []
+        total_skipped = 0
+        total_flits = 0
         for start, end in zip(bounds, bounds[1:]):
-            relative = s_order[start:end]
-            positions = forwarded[relative]
-            miss_positions, victims = self.slices[int(sorted_slice[start])].warm_many(
-                lines_arr[positions].tolist(),
-                writes_arr[positions].tolist(),
-                set_ids=llc_set_ids[relative].tolist(),
+            view = slice(start, end)
+            skipped, flits = self._replay_ops(
+                sm_ids[view], lines[view], channels[view], banks[view],
+                rows[view], slices[view], stream.writes[view],
             )
-            if miss_positions:
-                missed = positions[np.asarray(miss_positions, dtype=np.int64)]
-                miss_channel_parts.append(chan_arr[missed])
-                miss_bank_parts.append(bank_arr[missed])
-                miss_row_parts.append(row_arr[missed])
-            if victims:
-                writeback_parts.append(np.asarray(victims, dtype=np.uint64))
-        empty = np.empty(0, dtype=np.int64)
-        read_ch = np.concatenate(miss_channel_parts) if miss_channel_parts else empty
-        read_banks = np.concatenate(miss_bank_parts) if miss_bank_parts else empty
-        read_rows = np.concatenate(miss_row_parts) if miss_row_parts else empty
-        if writeback_parts:
-            fields = decode_fields(
-                self.address_map, np.concatenate(writeback_parts)
-            )
-            wb_ch = self._channels_of(fields).astype(np.int64)
-            wb_banks = fields["bank"].astype(np.int64)
-            wb_rows = fields["row"].astype(np.int64)
-        else:
-            wb_ch = wb_banks = wb_rows = empty
-        # Per-channel streams keep the old arrival order: read fetches
-        # in slice-major order, then writebacks in slice-major order.
-        all_ch = np.concatenate([read_ch, wb_ch])
-        if not all_ch.size:
-            return total_ops, noc_flits
-        all_banks = np.concatenate([read_banks, wb_banks])
-        all_rows = np.concatenate([read_rows, wb_rows])
-        reads_per = np.bincount(read_ch, minlength=n_channels)
-        writes_per = np.bincount(wb_ch, minlength=n_channels)
-        c_order = np.argsort(all_ch, kind="stable")
-        sorted_ch = all_ch[c_order]
-        bounds = [
-            0,
-            *(np.flatnonzero(np.diff(sorted_ch)) + 1).tolist(),
-            sorted_ch.size,
-        ]
-        for start, end in zip(bounds, bounds[1:]):
-            segment = c_order[start:end]
-            channel = int(sorted_ch[start])
-            self.dram.controllers[channel].replay_traffic(
-                all_banks[segment], all_rows[segment],
-                int(reads_per[channel]), int(writes_per[channel]),
-            )
-        return total_ops, noc_flits
+            total_skipped += skipped
+            total_flits += flits
+        return total_skipped, total_flits
 
 
     # ------------------------------------------------------------------

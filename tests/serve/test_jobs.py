@@ -35,11 +35,11 @@ class CountingContext(RunContext):
         self.lock = threading.Lock()
         self.counts = {}
 
-    def execute(self, config):
+    def execute(self, config, state_cache=None):
         with self.lock:
             key = config.config_hash()
             self.counts[key] = self.counts.get(key, 0) + 1
-        return super().execute(config)
+        return super().execute(config, state_cache=state_cache)
 
 
 class GateContext(CountingContext):
@@ -50,10 +50,10 @@ class GateContext(CountingContext):
         self.entered = threading.Event()
         self.gate = threading.Event()
 
-    def execute(self, config):
+    def execute(self, config, state_cache=None):
         self.entered.set()
         assert self.gate.wait(timeout=60), "test never released the gate"
-        return super().execute(config)
+        return super().execute(config, state_cache=state_cache)
 
 
 def make_manager(tmp_path, context, *, runners=2, max_jobs=4,

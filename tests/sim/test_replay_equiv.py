@@ -1,0 +1,293 @@
+"""Scalar vs vectorized replay: byte-identical counters and warmed state.
+
+PR 10 rewrote the functional replay plane (``repro.sim.replay``) as a
+structure-of-arrays engine.  These property tests pin the rewrite to
+the scalar loops that remain in the tree as the oracle: over random op
+streams (and the degenerate 0-op / 1-op cases, and non-power-of-two
+set counts), the vectorized warm passes must report identical stats,
+identical forwarded / miss / writeback outcomes in identical order,
+and leave every set holding the same (line, dirty) entries in the same
+recency order.
+
+The absolute LRU tick values are allowed to differ — the vector
+backend stamps stream positions rather than per-bump counters — so
+warmed state is compared by recency *rank* within each set, which is
+the only thing victim selection ever reads.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import hynix_gddr5_map
+from repro.gpu.cache import SetAssociativeCache
+from repro.registry import make_scheme, make_workload
+from repro.sim.fidelity import parse_fidelity
+from repro.sim.gpu_system import GPUSystem, plan_auto
+from repro.sim.replay import (
+    BACKEND_ENV,
+    build_kernel_stream,
+    replay_backend,
+    warm_back_vector,
+    warm_through_vector,
+)
+
+AMAP = hynix_gddr5_map()
+LINE = 128
+
+
+def canonical_state(cache):
+    """Per-set (line, dirty) entries in LRU-to-MRU order.
+
+    Use values are unique within a cache, so recency rank is
+    well-defined; comparing ranks instead of raw ticks makes the check
+    backend-agnostic.
+    """
+    state = []
+    for set_id in range(cache.sets):
+        entries = cache.set_entries(set_id)
+        ordered = sorted(entries.items(), key=lambda item: item[1][0])
+        state.append([(line, bool(e[1])) for line, e in ordered])
+    return state
+
+
+def random_stream(rng, n_ops, n_caches, sets, ways):
+    """A random op stream with enough line reuse to force evictions."""
+    pool_size = max(1, sets * ways * 2)
+    pool = [rng.getrandbits(30) * LINE for _ in range(pool_size)]
+    lines = np.array(
+        [pool[rng.randrange(pool_size)] for _ in range(n_ops)],
+        dtype=np.int64,
+    )
+    cache_ids = np.array(
+        [rng.randrange(n_caches) for _ in range(n_ops)], dtype=np.int64
+    )
+    writes = np.array(
+        [rng.random() < 0.4 for _ in range(n_ops)], dtype=bool
+    )
+    return cache_ids, lines, writes
+
+
+def make_caches(n_caches, sets, ways):
+    return [
+        SetAssociativeCache(sets, ways, LINE, name=f"c{i}")
+        for i in range(n_caches)
+    ]
+
+
+def scalar_reference(caches, cache_ids, lines, writes, set_ids, policy):
+    """Run each cache's sub-stream through the scalar oracle.
+
+    Returns per-cache ``(sub_positions, result)`` where *result* is
+    whatever the scalar method returned for that cache.
+    """
+    out = {}
+    for c, cache in enumerate(caches):
+        sub = np.flatnonzero(cache_ids == c)
+        args = (
+            [int(x) for x in lines[sub]],
+            [bool(w) for w in writes[sub]],
+            [int(s) for s in set_ids[sub]],
+        )
+        if policy == "through":
+            out[c] = (sub, cache.warm_through_many(*args))
+        else:
+            out[c] = (sub, cache.warm_back_many(*args))
+    return out
+
+
+GEOMETRIES = [
+    (1, 4, 2),    # single cache, tiny
+    (2, 8, 4),    # pow2 sets
+    (3, 12, 2),   # non-pow2 set count (legacy fold-then-modulo path)
+    (4, 16, 1),   # direct-mapped
+    (2, 12, 3),   # non-pow2 sets, odd ways
+]
+
+SIZES = [0, 1, 7, 40, 300]  # spans the hybrid scalar-tail cutoff
+
+
+class TestWarmThroughEquiv:
+    @pytest.mark.parametrize("n_caches,sets,ways", GEOMETRIES)
+    @pytest.mark.parametrize("n_ops", SIZES)
+    def test_stats_forwarded_and_state_match(self, n_caches, sets, ways,
+                                             n_ops):
+        rng = random.Random(10_000 * n_ops + 100 * sets + ways)
+        cache_ids, lines, writes = random_stream(
+            rng, n_ops, n_caches, sets, ways
+        )
+        vec = make_caches(n_caches, sets, ways)
+        ref = make_caches(n_caches, sets, ways)
+        set_ids = vec[0].set_indices_array(lines.astype(np.uint64))
+
+        fwd_mask = warm_through_vector(vec, cache_ids, lines, writes, set_ids)
+        oracle = scalar_reference(
+            ref, cache_ids, lines, writes, set_ids, "through"
+        )
+
+        for c in range(n_caches):
+            sub, fwd_positions = oracle[c]
+            got = [int(p) for p in np.flatnonzero(fwd_mask[sub])]
+            assert got == fwd_positions, f"forwarded set differs (cache {c})"
+            assert vec[c].stats.__dict__ == ref[c].stats.__dict__
+            assert canonical_state(vec[c]) == canonical_state(ref[c])
+
+    def test_repeated_calls_keep_recency_coherent(self):
+        """Recency must stay correct across successive vector batches."""
+        rng = random.Random(7)
+        vec = make_caches(2, 8, 2)
+        ref = make_caches(2, 8, 2)
+        for round_no in range(5):
+            cache_ids, lines, writes = random_stream(rng, 60, 2, 8, 2)
+            set_ids = vec[0].set_indices_array(lines.astype(np.uint64))
+            warm_through_vector(vec, cache_ids, lines, writes, set_ids)
+            scalar_reference(ref, cache_ids, lines, writes, set_ids, "through")
+            for c in range(2):
+                assert canonical_state(vec[c]) == canonical_state(ref[c])
+                assert vec[c].stats.__dict__ == ref[c].stats.__dict__
+
+
+class TestWarmBackEquiv:
+    @pytest.mark.parametrize("n_caches,sets,ways", GEOMETRIES)
+    @pytest.mark.parametrize("n_ops", SIZES)
+    def test_stats_misses_writebacks_and_state_match(self, n_caches, sets,
+                                                     ways, n_ops):
+        rng = random.Random(20_000 * n_ops + 100 * sets + ways)
+        cache_ids, lines, writes = random_stream(
+            rng, n_ops, n_caches, sets, ways
+        )
+        vec = make_caches(n_caches, sets, ways)
+        ref = make_caches(n_caches, sets, ways)
+        set_ids = vec[0].set_indices_array(lines.astype(np.uint64))
+
+        miss_mask, wb_line = warm_back_vector(
+            vec, cache_ids, lines, writes, set_ids
+        )
+        oracle = scalar_reference(
+            ref, cache_ids, lines, writes, set_ids, "back"
+        )
+
+        for c in range(n_caches):
+            sub, (miss_positions, writebacks) = oracle[c]
+            got_misses = [int(p) for p in np.flatnonzero(miss_mask[sub])]
+            assert got_misses == miss_positions, f"read misses differ ({c})"
+            sub_wb = wb_line[sub]
+            got_wb = [int(line) for line in sub_wb[sub_wb >= 0]]
+            assert got_wb == writebacks, f"writeback order differs ({c})"
+            assert vec[c].stats.__dict__ == ref[c].stats.__dict__
+            assert canonical_state(vec[c]) == canonical_state(ref[c])
+
+    def test_dirty_victim_line_extracted_before_overwrite(self):
+        """A dirty line evicted by the very op that replaces it must be
+        reported with the *victim's* address, not the newcomer's."""
+        cache_v = make_caches(1, 1, 1)  # 1 set, 1 way: every miss evicts
+        cache_r = make_caches(1, 1, 1)
+        lines = np.array([0 * LINE, 1 * LINE, 2 * LINE], dtype=np.int64)
+        writes = np.array([True, True, False], dtype=bool)
+        ids = np.zeros(3, dtype=np.int64)
+        set_ids = cache_v[0].set_indices_array(lines.astype(np.uint64))
+        _, wb_line = warm_back_vector(cache_v, ids, lines, writes, set_ids)
+        _, wbs = cache_r[0].warm_back_many(
+            [int(x) for x in lines], [bool(w) for w in writes],
+            [int(s) for s in set_ids],
+        )
+        assert [int(x) for x in wb_line[wb_line >= 0]] == wbs == [0, LINE]
+
+
+class TestFullSystemEquiv:
+    """Twin systems, one per backend, must agree byte-for-byte."""
+
+    @pytest.mark.parametrize("scheme_name", ["BASE", "PAE"])
+    def test_auto_run_results_identical(self, scheme_name, monkeypatch):
+        workload = make_workload("SC", scale=0.5)  # has estimated kernels
+        fidelity = parse_fidelity("auto")
+        results = {}
+        for backend in ("scalar", "vector"):
+            monkeypatch.setenv(BACKEND_ENV, backend)
+            system = GPUSystem(make_scheme(scheme_name, AMAP))
+            results[backend] = system.run(
+                workload, fidelity=fidelity
+            ).to_dict()
+        assert results["scalar"] == results["vector"]
+
+    def test_auto_run_with_cached_stream_identical(self, monkeypatch,
+                                                   tmp_path):
+        """A vector run replaying a cached stream equals a cold scalar
+        run: the state cache must never change observable results."""
+        from repro.runner.state_cache import StateCache
+
+        workload = make_workload("SC", scale=0.5)
+        fidelity = parse_fidelity("auto")
+        plan = plan_auto(workload, fidelity, AMAP)
+        base = {"workload": "SC", "scale": 0.5, "memory": "gddr5"}
+
+        monkeypatch.setenv(BACKEND_ENV, "scalar")
+        cold = GPUSystem(make_scheme("BASE", AMAP)).run(
+            workload, fidelity=fidelity, auto_plan=plan
+        ).to_dict()
+
+        monkeypatch.setenv(BACKEND_ENV, "vector")
+        cache = StateCache(tmp_path / "state")
+        first = GPUSystem(make_scheme("BASE", AMAP)).run(
+            workload, fidelity=fidelity, auto_plan=plan,
+            state_cache=cache, state_key=base,
+        ).to_dict()
+        assert cache.stats.stores > 0, "SC@0.5 must exercise the cache"
+        warm = GPUSystem(make_scheme("BASE", AMAP)).run(
+            workload, fidelity=fidelity, auto_plan=plan,
+            state_cache=cache, state_key=base,
+        ).to_dict()
+        assert cache.stats.hits == cache.stats.stores
+        assert cold == first == warm
+
+
+class TestStreamBuild:
+    def test_stream_matches_context_order(self):
+        """build_kernel_stream must reproduce the per-context interleave
+        (one op per non-empty warp per turn, waves of wave_cap TBs)."""
+        workload = make_workload("SC", scale=0.5)
+        kernel = workload.kernels[0]
+        stream = build_kernel_stream(kernel, wave_cap=3)
+        # Reference: explicit per-wave round-robin over warp streams.
+        expected = []
+        tbs = list(kernel.tbs)
+        for start in range(0, len(tbs), 3):
+            wave = tbs[start:start + 3]
+            streams = []
+            for tb_off, tb in enumerate(wave):
+                for warp in tb.warps:
+                    ops = list(zip(warp.addresses, warp.writes))
+                    if ops:
+                        streams.append((start + tb_off, ops))
+            depth = max((len(ops) for _, ops in streams), default=0)
+            for position in range(depth):
+                for tb_ordinal, ops in streams:
+                    if position < len(ops):
+                        addr, is_write = ops[position]
+                        expected.append((int(addr), bool(is_write),
+                                         tb_ordinal))
+        got = list(zip(
+            (int(a) for a in stream.addresses),
+            (bool(w) for w in stream.writes),
+            (int(t) for t in stream.tb_ordinals),
+        ))
+        assert got == expected
+        assert stream.n_tbs == len(tbs)
+        assert stream.wave_cap == 3
+
+
+class TestBackendSwitch:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert replay_backend() == "vector"
+
+    @pytest.mark.parametrize("value", ["scalar", "vector", " SCALAR "])
+    def test_explicit_values(self, value, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, value)
+        assert replay_backend() == value.strip().lower()
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "simd")
+        with pytest.raises(ValueError, match="REPRO_REPLAY_BACKEND"):
+            replay_backend()
